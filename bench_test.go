@@ -1,0 +1,379 @@
+// Package repro_test is the benchmark harness regenerating every table and
+// figure of the paper's evaluation (§5), plus micro-benchmarks of the
+// mechanisms (purging, k-enumeration, consensus, view changes) and
+// ablations of the design choices called out in DESIGN.md.
+//
+// Figure benchmarks report their headline numbers as custom metrics, e.g.
+//
+//	BenchmarkFig5aThreshold  ... reliable-msgs/s 57.7  semantic-msgs/s 28.4
+//
+// and cmd/svs-sim and cmd/svs-trace print the full series. EXPERIMENTS.md
+// records paper-vs-measured for each.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// benchTrace is the short calibrated session used by the sweep benchmarks;
+// the full 11696-round session is used by the trace-statistics benchmarks.
+func benchTrace(rounds int) *trace.Trace {
+	p := trace.DefaultParams()
+	if rounds > 0 {
+		p.Rounds = rounds
+	}
+	return trace.Generate(p)
+}
+
+// ---- Fig. 3: workload characterisation --------------------------------------
+
+func BenchmarkFig3aItemModificationFrequency(b *testing.B) {
+	tr := benchTrace(0) // full paper-length session
+	var st trace.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = trace.Characterize(tr)
+	}
+	b.ReportMetric(st.RankFreq[0], "top-rank-%rounds")   // paper: ~22
+	b.ReportMetric(st.MeanModifiedPerRound, "mod/round") // paper: 1.39
+	b.ReportMetric(st.MeanActiveItems, "active-items")   // paper: 42.33
+}
+
+func BenchmarkFig3bObsolescenceDistance(b *testing.B) {
+	tr := benchTrace(0)
+	var st trace.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = trace.Characterize(tr)
+	}
+	within10 := 0.0
+	for d := 0; d < 10; d++ {
+		within10 += st.DistanceHist[d]
+	}
+	b.ReportMetric(within10, "within10-%msgs")
+	b.ReportMetric(100*st.NeverObsoleteShare, "never-obsolete-%") // paper: 41.88
+}
+
+// ---- Fig. 4: rate sweeps -----------------------------------------------------
+
+func BenchmarkFig4aProducerIdle(b *testing.B) {
+	tr := benchTrace(3000)
+	rates := []float64{30, 50, 73}
+	var rel, sem sim.Series
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel = sim.ProducerIdleSweep(tr, sim.Reliable, 15, rates)
+		sem = sim.ProducerIdleSweep(tr, sim.Semantic, 15, rates)
+	}
+	b.ReportMetric(rel.Points[0].Y, "rel-idle%@30")
+	b.ReportMetric(sem.Points[0].Y, "sem-idle%@30")
+	b.ReportMetric(rel.Points[2].Y, "rel-idle%@73") // paper: ≤5% at 73
+	b.ReportMetric(sem.Points[2].Y, "sem-idle%@73")
+}
+
+func BenchmarkFig4bBufferOccupancy(b *testing.B) {
+	tr := benchTrace(3000)
+	rates := []float64{30, 50, 73}
+	var rel, sem sim.Series
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel = sim.OccupancySweep(tr, sim.Reliable, 15, rates)
+		sem = sim.OccupancySweep(tr, sim.Semantic, 15, rates)
+	}
+	b.ReportMetric(rel.Points[1].Y, "rel-occ@50")
+	b.ReportMetric(sem.Points[1].Y, "sem-occ@50")
+}
+
+// ---- Fig. 5: buffer sweeps ---------------------------------------------------
+
+func BenchmarkFig5aThreshold(b *testing.B) {
+	tr := benchTrace(3000)
+	var rel, sem float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel = sim.Threshold(tr, sim.Reliable, 15, 5)
+		sem = sim.Threshold(tr, sim.Semantic, 15, 5)
+	}
+	b.ReportMetric(rel, "reliable-msgs/s") // paper: 73 at buffer 15
+	b.ReportMetric(sem, "semantic-msgs/s") // paper: 28 at buffer 15
+}
+
+func BenchmarkFig5bPerturbation(b *testing.B) {
+	tr := benchTrace(3000)
+	var rel, sem float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel = sim.Perturbation(tr, sim.Reliable, 24, 8)
+		sem = sim.Perturbation(tr, sim.Semantic, 24, 8)
+	}
+	b.ReportMetric(rel*1000, "reliable-ms") // paper: 342 ms at buffer 24
+	b.ReportMetric(sem*1000, "semantic-ms") // paper: 857 ms at buffer 24
+}
+
+// ---- ablations ---------------------------------------------------------------
+
+// BenchmarkAblationKWindow quantifies the sensitivity of the semantic
+// threshold to the k-enumeration window (the paper fixes k = 2×buffer).
+func BenchmarkAblationKWindow(b *testing.B) {
+	tr := benchTrace(3000)
+	const buffer = 15
+	for _, mult := range []int{1, 2, 4} {
+		mult := mult
+		b.Run(fmt.Sprintf("k=%dxBuffer", mult), func(b *testing.B) {
+			msgs := tr.Annotate("producer", mult*buffer)
+			var th float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo, hi := 0.5, 400.0
+				for hi-lo > 0.5 {
+					mid := (lo + hi) / 2
+					res := sim.Run(sim.Config{
+						Mode: sim.Semantic, Buffer: buffer, K: mult * buffer,
+						Msgs: msgs, ConsumerRate: mid,
+					})
+					if res.ProducerIdlePct <= 5 {
+						hi = mid
+					} else {
+						lo = mid
+					}
+				}
+				th = hi
+			}
+			b.ReportMetric(th, "threshold-msgs/s")
+		})
+	}
+}
+
+// BenchmarkAblationPurgeSweep compares the O(n) arrival-time purge against
+// the full pairwise sweep of Figure 1's purge function.
+func BenchmarkAblationPurgeSweep(b *testing.B) {
+	const k = 32
+	rel := obsolete.KEnumeration{K: k}
+	mkItems := func() []queue.Item {
+		tr := obsolete.NewItemTracker(obsolete.NewKTracker(k))
+		items := make([]queue.Item, 0, 64)
+		for i := 0; i < 64; i++ {
+			seq, annot := tr.Update(uint32(i % 8))
+			items = append(items, queue.Item{
+				Kind: queue.Data, View: 1,
+				Meta: obsolete.Msg{Sender: "p", Seq: seq, Annot: annot},
+			})
+		}
+		return items
+	}
+	items := mkItems()
+
+	b.Run("arrival", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queue.New(rel, 0)
+			for _, it := range items {
+				_, _ = q.AppendPurge(it)
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := queue.New(rel, 0)
+			for _, it := range items {
+				_ = q.Append(it)
+			}
+			q.Purge()
+		}
+	})
+}
+
+// ---- micro-benchmarks --------------------------------------------------------
+
+func BenchmarkKEnumTrackerNext(b *testing.B) {
+	tr := obsolete.NewKTracker(64)
+	var prev ident.Seq
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if prev == 0 {
+			prev, _ = tr.Next()
+			continue
+		}
+		prev, _ = tr.Next(prev)
+	}
+}
+
+func BenchmarkKEnumObsoletes(b *testing.B) {
+	const k = 64
+	rel := obsolete.KEnumeration{K: k}
+	tr := obsolete.NewKTracker(k)
+	s1, a1 := tr.Next()
+	s2, a2 := tr.Next(s1)
+	old := obsolete.Msg{Sender: "p", Seq: s1, Annot: a1}
+	new_ := obsolete.Msg{Sender: "p", Seq: s2, Annot: a2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !rel.Obsoletes(old, new_) {
+			b.Fatal("relation broken")
+		}
+	}
+}
+
+func BenchmarkQueueAppendPurge(b *testing.B) {
+	const k = 32
+	rel := obsolete.KEnumeration{K: k}
+	tr := obsolete.NewItemTracker(obsolete.NewKTracker(k))
+	q := queue.New(rel, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq, annot := tr.Update(uint32(i % 4))
+		it := queue.Item{Kind: queue.Data, View: 1, Meta: obsolete.Msg{Sender: "p", Seq: seq, Annot: annot}}
+		if _, err := q.AppendPurge(it); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsensusDecision(b *testing.B) {
+	net := transport.NewMemNetwork()
+	pids := ident.NewPIDs("p0", "p1", "p2")
+	svcs := make(map[ident.PID]*consensus.Service)
+	for _, p := range pids {
+		ep, err := net.Endpoint(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := fd.NewManual()
+		svc := consensus.New(ep, det)
+		svc.Start()
+		svcs[p] = svc
+		defer svc.Stop()
+		defer det.Stop()
+		defer ep.Close()
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		var wg sync.WaitGroup
+		for _, p := range pids {
+			wg.Add(1)
+			go func(p ident.PID) {
+				defer wg.Done()
+				if _, err := svcs[p].Propose(ctx, id, pids, []byte(p)); err != nil {
+					b.Error(err)
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+}
+
+// liveGroup spins up an n-member engine group with fast consumer loops,
+// returning the producer engine, its tracker, and a shutdown func.
+func liveGroup(b *testing.B, rel obsolete.Relation, buffer int) (*core.Engine, func()) {
+	b.Helper()
+	net := transport.NewMemNetwork()
+	pids := ident.NewPIDs("p0", "p1", "p2")
+	view := core.View{ID: 1, Members: pids}
+	ctx, cancel := context.WithCancel(context.Background())
+	var engines []*core.Engine
+	var dets []*fd.Manual
+	var wg sync.WaitGroup
+	for _, p := range pids {
+		ep, err := net.Endpoint(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := fd.NewManual()
+		eng, err := core.New(core.Config{
+			Self: p, Endpoint: ep, Detector: det, InitialView: view,
+			Relation: rel, ToDeliverCap: buffer, OutgoingCap: buffer, Window: buffer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			b.Fatal(err)
+		}
+		engines = append(engines, eng)
+		dets = append(dets, det)
+		wg.Add(1)
+		go func(eng *core.Engine) {
+			defer wg.Done()
+			for {
+				if _, err := eng.Deliver(ctx); err != nil {
+					return
+				}
+			}
+		}(eng)
+	}
+	stop := func() {
+		cancel()
+		for _, e := range engines {
+			e.Stop()
+		}
+		wg.Wait()
+		for _, d := range dets {
+			d.Stop()
+		}
+	}
+	return engines[0], stop
+}
+
+func BenchmarkEngineMulticastSemantic(b *testing.B) {
+	producer, stop := liveGroup(b, obsolete.KEnumeration{K: 64}, 32)
+	defer stop()
+	tr := obsolete.NewItemTracker(obsolete.NewKTracker(64))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq, annot := tr.Update(uint32(i % 8))
+		meta := obsolete.Msg{Sender: "p0", Seq: seq, Annot: annot}
+		if _, err := producer.Multicast(ctx, meta, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineMulticastReliable(b *testing.B) {
+	producer, stop := liveGroup(b, obsolete.Empty{}, 32)
+	defer stop()
+	var seq ident.Seq
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		meta := obsolete.Msg{Sender: "p0", Seq: seq}
+		if _, err := producer.Multicast(ctx, meta, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewChangeLatency measures the wall time of a full view change
+// (INIT → PRED exchange → consensus → install) in an idle group — the
+// protocol's fixed cost; the flush grows with buffered traffic, which
+// Fig. 4b shows SVS keeps small.
+func BenchmarkViewChangeLatency(b *testing.B) {
+	producer, stop := liveGroup(b, obsolete.KEnumeration{K: 64}, 32)
+	defer stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := producer.RequestViewChange(); err != nil {
+			b.Fatal(err)
+		}
+		want := ident.ViewID(2 + i)
+		for producer.Stats().View < want {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command svs-sim regenerates the throughput figures of the paper's
+// evaluation (§5.4): Fig. 4a (producer idle vs consumer rate), Fig. 4b
+// (buffer occupancy vs consumer rate), Fig. 5a (tolerable consumer-rate
+// threshold vs buffer size) and Fig. 5b (tolerated perturbation length vs
+// buffer size), each for the reliable (VS) and semantic (SVS) protocols.
+//
+// Usage:
+//
+//	svs-sim -fig all
+//	svs-sim -fig 4a -buffer 15
+//	svs-sim -fig 5a -maxidle 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b or all")
+		buffer  = flag.Int("buffer", 15, "buffer size for the rate sweeps (Fig. 4)")
+		rounds  = flag.Int("rounds", 0, "trace length in rounds (0 = paper's 11696)")
+		seed    = flag.Int64("seed", 0, "trace seed (0 = paper calibration seed)")
+		samples = flag.Int("samples", 10, "perturbation halt samples per point (Fig. 5b)")
+		maxIdle = flag.Float64("maxidle", 5, "producer idle threshold in percent (Fig. 5a)")
+	)
+	flag.Parse()
+
+	p := trace.DefaultParams()
+	if *rounds > 0 {
+		p.Rounds = *rounds
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	tr := trace.Generate(p)
+	fmt.Printf("# trace: %d rounds, %d messages, %.1f msg/s average\n",
+		tr.Rounds, len(tr.Events), tr.MeanRate())
+
+	switch *fig {
+	case "4a":
+		fig4a(tr, *buffer)
+	case "4b":
+		fig4b(tr, *buffer)
+	case "5a":
+		fig5a(tr, *maxIdle)
+	case "5b":
+		fig5b(tr, *samples)
+	case "all":
+		fig4a(tr, *buffer)
+		fig4b(tr, *buffer)
+		fig5a(tr, *maxIdle)
+		fig5b(tr, *samples)
+	default:
+		fmt.Fprintf(os.Stderr, "svs-sim: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func rateGrid() []float64 {
+	var rates []float64
+	for r := 10.0; r <= 150; r += 5 {
+		rates = append(rates, r)
+	}
+	return rates
+}
+
+func bufferGrid() []int {
+	var bs []int
+	for b := 4; b <= 28; b += 2 {
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+func fig4a(tr *trace.Trace, buffer int) {
+	fmt.Printf("\n== Fig. 4a: producer idle (%%) vs consumer rate (msg/s), buffer %d\n", buffer)
+	fmt.Printf("%-12s %-12s %-12s\n", "rate", "reliable", "semantic")
+	rates := rateGrid()
+	rel := sim.ProducerIdleSweep(tr, sim.Reliable, buffer, rates)
+	sem := sim.ProducerIdleSweep(tr, sim.Semantic, buffer, rates)
+	for i := range rates {
+		fmt.Printf("%-12.1f %-12.2f %-12.2f\n", rates[i], rel.Points[i].Y, sem.Points[i].Y)
+	}
+}
+
+func fig4b(tr *trace.Trace, buffer int) {
+	fmt.Printf("\n== Fig. 4b: buffer occupancy (msg, time-averaged) vs consumer rate, buffer %d\n", buffer)
+	fmt.Printf("%-12s %-12s %-12s\n", "rate", "reliable", "semantic")
+	rates := rateGrid()
+	rel := sim.OccupancySweep(tr, sim.Reliable, buffer, rates)
+	sem := sim.OccupancySweep(tr, sim.Semantic, buffer, rates)
+	for i := range rates {
+		fmt.Printf("%-12.1f %-12.2f %-12.2f\n", rates[i], rel.Points[i].Y, sem.Points[i].Y)
+	}
+}
+
+func fig5a(tr *trace.Trace, maxIdle float64) {
+	fmt.Printf("\n== Fig. 5a: threshold consumer rate (msg/s, ≤%.0f%% producer idle) vs buffer size\n", maxIdle)
+	fmt.Printf("# average input rate: %.1f msg/s (the figure's horizontal line)\n", tr.MeanRate())
+	fmt.Printf("%-12s %-12s %-12s\n", "buffer", "reliable", "semantic")
+	for _, b := range bufferGrid() {
+		rel := sim.Threshold(tr, sim.Reliable, b, maxIdle)
+		sem := sim.Threshold(tr, sim.Semantic, b, maxIdle)
+		fmt.Printf("%-12d %-12.1f %-12.1f\n", b, rel, sem)
+	}
+}
+
+func fig5b(tr *trace.Trace, samples int) {
+	fmt.Printf("\n== Fig. 5b: tolerated perturbation (ms) vs buffer size (%d halt samples)\n", samples)
+	fmt.Printf("%-12s %-12s %-12s\n", "buffer", "reliable", "semantic")
+	for _, b := range bufferGrid() {
+		rel := sim.Perturbation(tr, sim.Reliable, b, samples)
+		sem := sim.Perturbation(tr, sim.Semantic, b, samples)
+		fmt.Printf("%-12d %-12.0f %-12.0f\n", b, ms(rel), ms(sem))
+	}
+}
+
+func ms(s float64) float64 {
+	if math.IsInf(s, 1) {
+		return math.Inf(1)
+	}
+	return s * 1000
+}

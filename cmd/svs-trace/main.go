@@ -1,0 +1,109 @@
+// Command svs-trace generates and characterises game-session traces the
+// way §5.2 of the paper does: the summary statistics table, Fig. 3a (item
+// modification frequency by rank) and Fig. 3b (distance to the closest
+// related message).
+//
+// Usage:
+//
+//	svs-trace -summary
+//	svs-trace -fig 3a
+//	svs-trace -fig 3b
+//	svs-trace -o session.trace          # write the synthetic trace
+//	svs-trace -i session.trace -summary # characterise a recorded trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		summary = flag.Bool("summary", false, "print the §5.2 summary statistics")
+		fig     = flag.String("fig", "", "figure to regenerate: 3a or 3b")
+		rounds  = flag.Int("rounds", 0, "trace length in rounds (0 = paper's 11696)")
+		seed    = flag.Int64("seed", 0, "trace seed (0 = paper calibration seed)")
+		players = flag.Int("players", 0, "scale the workload as if more players joined (≥5 intensifies traffic)")
+		out     = flag.String("o", "", "write the trace to this file")
+		in      = flag.String("i", "", "read a trace from this file instead of generating")
+	)
+	flag.Parse()
+
+	tr, err := loadOrGenerate(*in, *rounds, *seed, *players)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svs-trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svs-trace: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "svs-trace: write: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "svs-trace: close: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d events to %s\n", len(tr.Events), *out)
+	}
+
+	if !*summary && *fig == "" && *out == "" {
+		*summary = true // default action
+	}
+
+	st := trace.Characterize(tr)
+	if *summary {
+		fmt.Println("== §5.2 summary (paper reference values in parentheses)")
+		fmt.Print(st.Summary())
+	}
+	switch *fig {
+	case "":
+	case "3a":
+		fmt.Println("\n== Fig. 3a: frequency of item modifications (% of rounds) by item rank")
+		fmt.Printf("%-8s %s\n", "rank", "% of rounds")
+		for i, f := range st.RankFreq {
+			fmt.Printf("%-8d %.2f\n", i+1, f)
+		}
+	case "3b":
+		fmt.Println("\n== Fig. 3b: distance to closest related message (% of messages)")
+		fmt.Printf("%-10s %s\n", "distance", "% of messages")
+		for d, pct := range st.DistanceHist {
+			fmt.Printf("%-10d %.2f\n", d+1, pct)
+		}
+		fmt.Printf("%-10s %.2f\n", ">20", st.DistanceOverflow)
+		fmt.Printf("%-10s %.2f   (paper: 41.88)\n", "never", 100*st.NeverObsoleteShare)
+	default:
+		fmt.Fprintf(os.Stderr, "svs-trace: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func loadOrGenerate(in string, rounds int, seed int64, players int) (*trace.Trace, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	}
+	p := trace.DefaultParams()
+	if rounds > 0 {
+		p.Rounds = rounds
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	if players > 0 {
+		p = trace.ScalePlayers(p, players)
+	}
+	return trace.Generate(p), nil
+}

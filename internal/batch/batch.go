@@ -1,0 +1,201 @@
+// Package batch implements the multi-item message pattern of §4.1: a
+// composite update is split into a batch of independent per-item messages
+// terminated by a commit control message. Receivers hold a batch's members
+// until the commit arrives and then apply them atomically. Obsolescence is
+// only carried by commits — "only the commit messages, and not the
+// individual updates, can make messages from previous batches obsolete"
+// (Figure 2: C(2), not U(b,2), makes U(b,1) obsolete) — so purging can
+// never break batch atomicity.
+//
+// The package frames application payloads; it does not talk to the
+// network. A Sender produces (sequence number, annotation, framed payload)
+// triples for the group engine to multicast; a Receiver unfolds delivered
+// frames back into atomically applicable payload groups.
+//
+// Commits in this implementation are always reliable (never obsoleted):
+// the paper permits a commit to be obsoleted by a later commit covering a
+// superset of its items, but the conservative choice keeps receiver state
+// trivially bounded and loses almost nothing — commits are a small
+// fraction of traffic and batches supersede member-wise anyway.
+package batch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// Frame kinds, the first byte of every framed payload.
+const (
+	// frameSingle is a self-committing single-item update (the common
+	// case; "the role of the commit message can be performed by the last
+	// message in each update").
+	frameSingle byte = iota + 1
+	// frameMember is one update of an open batch: buffered until commit.
+	frameMember
+	// frameCommit terminates a batch. Its own payload (possibly empty) is
+	// applied after the members.
+	frameCommit
+	// frameReliable is a non-obsolescing, non-batched message (creates,
+	// destroys, control traffic).
+	frameReliable
+)
+
+// Errors returned by Sender and Receiver.
+var (
+	ErrBatchOpen    = errors.New("batch: batch already open")
+	ErrNoBatch      = errors.New("batch: no open batch")
+	ErrBadFrame     = errors.New("batch: malformed frame")
+	ErrDanglingData = errors.New("batch: commit without matching members state")
+)
+
+// Msg is one framed message ready for multicast.
+type Msg struct {
+	Seq     ident.Seq
+	Annot   []byte
+	Payload []byte // framed: kind byte + application payload
+}
+
+// Sender frames outgoing updates and computes their obsolescence
+// annotations through an ItemTracker. It is not safe for concurrent use;
+// the application owns it from its multicast goroutine.
+type Sender struct {
+	items *obsolete.ItemTracker
+
+	open  bool
+	prevs []ident.Seq // previous updates the open batch's commit obsoletes
+}
+
+// NewSender wraps an enumeration-style tracker (KTracker or EnumTracker).
+func NewSender(tr obsolete.Tracker) *Sender {
+	return &Sender{items: obsolete.NewItemTracker(tr)}
+}
+
+func frame(kind byte, payload []byte) []byte {
+	out := make([]byte, 0, 1+len(payload))
+	out = append(out, kind)
+	return append(out, payload...)
+}
+
+// Single emits a self-committing update of one item: it obsoletes the
+// item's previous update.
+func (s *Sender) Single(item uint32, payload []byte) (Msg, error) {
+	if s.open {
+		return Msg{}, ErrBatchOpen
+	}
+	seq, annot := s.items.Update(item)
+	return Msg{Seq: seq, Annot: annot, Payload: frame(frameSingle, payload)}, nil
+}
+
+// Reliable emits a message that neither obsoletes nor can be obsoleted.
+func (s *Sender) Reliable(payload []byte) (Msg, error) {
+	if s.open {
+		return Msg{}, ErrBatchOpen
+	}
+	seq, annot := s.items.Reliable()
+	return Msg{Seq: seq, Annot: annot, Payload: frame(frameReliable, payload)}, nil
+}
+
+// Create emits the reliable creation of an item.
+func (s *Sender) Create(item uint32, payload []byte) (Msg, error) {
+	if s.open {
+		return Msg{}, ErrBatchOpen
+	}
+	seq, annot := s.items.Create(item)
+	return Msg{Seq: seq, Annot: annot, Payload: frame(frameReliable, payload)}, nil
+}
+
+// Destroy emits the reliable destruction of an item.
+func (s *Sender) Destroy(item uint32, payload []byte) (Msg, error) {
+	if s.open {
+		return Msg{}, ErrBatchOpen
+	}
+	seq, annot := s.items.Destroy(item)
+	return Msg{Seq: seq, Annot: annot, Payload: frame(frameReliable, payload)}, nil
+}
+
+// Begin opens a batch.
+func (s *Sender) Begin() error {
+	if s.open {
+		return ErrBatchOpen
+	}
+	s.open = true
+	s.prevs = s.prevs[:0]
+	return nil
+}
+
+// Member adds one item update to the open batch. Members carry no
+// obsolescence of their own.
+func (s *Sender) Member(item uint32, payload []byte) (Msg, error) {
+	if !s.open {
+		return Msg{}, ErrNoBatch
+	}
+	seq, annot, prev := s.items.BatchMember(item)
+	if prev != 0 {
+		s.prevs = append(s.prevs, prev)
+	}
+	return Msg{Seq: seq, Annot: annot, Payload: frame(frameMember, payload)}, nil
+}
+
+// Commit closes the batch, emitting the commit message that obsoletes the
+// previous updates of every item the batch touched. payload may be empty.
+func (s *Sender) Commit(payload []byte) (Msg, error) {
+	if !s.open {
+		return Msg{}, ErrNoBatch
+	}
+	s.open = false
+	seq, annot := s.items.Commit(s.prevs)
+	return Msg{Seq: seq, Annot: annot, Payload: frame(frameCommit, payload)}, nil
+}
+
+// Receiver unfolds delivered frames, per sender, back into atomically
+// applicable payload groups. Safe for a single delivery goroutine.
+type Receiver struct {
+	pending map[ident.PID][][]byte
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver() *Receiver {
+	return &Receiver{pending: make(map[ident.PID][][]byte)}
+}
+
+// Receive processes one delivered frame from sender and returns the
+// application payloads to apply now, in order:
+//
+//   - single / reliable: the payload itself;
+//   - member: nothing (buffered until its commit);
+//   - commit: every buffered member of the sender's open batch, then the
+//     commit's own payload if non-empty.
+//
+// Members missing because they were purged are simply absent — the SVS
+// guarantees ensure a covering later message is (or will be) delivered.
+func (r *Receiver) Receive(sender ident.PID, framed []byte) ([][]byte, error) {
+	if len(framed) == 0 {
+		return nil, ErrBadFrame
+	}
+	kind, payload := framed[0], framed[1:]
+	switch kind {
+	case frameSingle, frameReliable:
+		return [][]byte{payload}, nil
+	case frameMember:
+		r.pending[sender] = append(r.pending[sender], payload)
+		return nil, nil
+	case frameCommit:
+		out := r.pending[sender]
+		delete(r.pending, sender)
+		if len(payload) > 0 {
+			out = append(out, payload)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrBadFrame, kind)
+	}
+}
+
+// PendingMembers reports how many member payloads of sender are awaiting
+// their commit.
+func (r *Receiver) PendingMembers(sender ident.PID) int {
+	return len(r.pending[sender])
+}

@@ -1,0 +1,251 @@
+package batch
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+func newPair() (*Sender, *Receiver, obsolete.Relation) {
+	const k = 32
+	return NewSender(obsolete.NewKTracker(k)), NewReceiver(), obsolete.KEnumeration{K: k}
+}
+
+func msgMeta(m Msg) obsolete.Msg {
+	return obsolete.Msg{Sender: "s", Seq: m.Seq, Annot: m.Annot}
+}
+
+func TestSingleRoundTrip(t *testing.T) {
+	s, r, _ := newPair()
+	m, err := s.Single(7, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive("s", m.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "v1" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSingleObsoletesPrevious(t *testing.T) {
+	s, _, rel := newPair()
+	m1, _ := s.Single(7, []byte("v1"))
+	m2, _ := s.Single(7, []byte("v2"))
+	if !rel.Obsoletes(msgMeta(m1), msgMeta(m2)) {
+		t.Fatal("second single update must obsolete the first")
+	}
+}
+
+func TestReliableNeverObsoletes(t *testing.T) {
+	s, _, rel := newPair()
+	m1, _ := s.Single(7, nil)
+	m2, _ := s.Reliable([]byte("ctl"))
+	m3, _ := s.Create(9, nil)
+	m4, _ := s.Destroy(9, nil)
+	for _, m := range []Msg{m2, m3, m4} {
+		if rel.Obsoletes(msgMeta(m1), msgMeta(m)) {
+			t.Fatalf("reliable message %d obsoletes an update", m.Seq)
+		}
+	}
+}
+
+func TestBatchAtomicApply(t *testing.T) {
+	s, r, _ := newPair()
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := s.Member(1, []byte("a"))
+	mb, _ := s.Member(2, []byte("b"))
+	mc, _ := s.Commit([]byte("c"))
+
+	// Members buffer, commit releases everything in order.
+	if got, _ := r.Receive("s", ma.Payload); got != nil {
+		t.Fatalf("member applied early: %q", got)
+	}
+	if got, _ := r.Receive("s", mb.Payload); got != nil {
+		t.Fatalf("member applied early: %q", got)
+	}
+	if r.PendingMembers("s") != 2 {
+		t.Fatalf("pending = %d", r.PendingMembers("s"))
+	}
+	got, err := r.Receive("s", mc.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %q", got)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	if r.PendingMembers("s") != 0 {
+		t.Fatal("pending not cleared by commit")
+	}
+}
+
+func TestCommitObsolescenceMatchesFigure2(t *testing.T) {
+	// Figure 2 of the paper: U(a,1) U(b,1) C(1)  U(b,2) U(c,2) C(2) —
+	// C(2) obsoletes U(b,1); U(b,2) does not.
+	s, _, rel := newPair()
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	ua1, _ := s.Member(1, nil)
+	ub1, _ := s.Member(2, nil)
+	c1, _ := s.Commit(nil)
+
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	ub2, _ := s.Member(2, nil)
+	uc2, _ := s.Member(3, nil)
+	c2, _ := s.Commit(nil)
+
+	if rel.Obsoletes(msgMeta(ub1), msgMeta(ub2)) {
+		t.Fatal("U(b,2) must not obsolete U(b,1)")
+	}
+	if !rel.Obsoletes(msgMeta(ub1), msgMeta(c2)) {
+		t.Fatal("C(2) must obsolete U(b,1)")
+	}
+	if rel.Obsoletes(msgMeta(ua1), msgMeta(c2)) {
+		t.Fatal("C(2) must not obsolete U(a,1) — item a is not in batch 2")
+	}
+	if rel.Obsoletes(msgMeta(c1), msgMeta(c2)) {
+		t.Fatal("commits are reliable in this implementation")
+	}
+	if rel.Obsoletes(msgMeta(ub2), msgMeta(c2)) || rel.Obsoletes(msgMeta(uc2), msgMeta(c2)) {
+		t.Fatal("a commit must not obsolete its own members")
+	}
+}
+
+func TestPurgedMemberStillCommits(t *testing.T) {
+	// A receiver that never saw U(b,2) (purged) must still apply the rest
+	// of the batch at the commit.
+	s, r, _ := newPair()
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := s.Member(1, []byte("a"))
+	_, _ = s.Member(2, []byte("b")) // purged on the way: never received
+	mc, _ := s.Commit(nil)
+
+	if _, err := r.Receive("s", ma.Payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive("s", mc.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "a" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPerSenderIsolation(t *testing.T) {
+	_, r, _ := newPair()
+	s1, _, _ := newPair()
+	s2, _, _ := newPair()
+
+	if err := s1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s1.Member(1, []byte("x"))
+	if err := s2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := s2.Member(1, []byte("y"))
+	c2, _ := s2.Commit(nil)
+
+	if _, err := r.Receive("alice", m1.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Receive("bob", m2.Payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive("bob", c2.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "y" {
+		t.Fatalf("bob's commit returned %q", got)
+	}
+	if r.PendingMembers("alice") != 1 {
+		t.Fatal("alice's open batch disturbed by bob's commit")
+	}
+}
+
+func TestSenderStateMachine(t *testing.T) {
+	s, _, _ := newPair()
+	if _, err := s.Member(1, nil); !errors.Is(err, ErrNoBatch) {
+		t.Fatalf("Member outside batch: %v", err)
+	}
+	if _, err := s.Commit(nil); !errors.Is(err, ErrNoBatch) {
+		t.Fatalf("Commit outside batch: %v", err)
+	}
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(); !errors.Is(err, ErrBatchOpen) {
+		t.Fatalf("double Begin: %v", err)
+	}
+	for _, f := range []func() (Msg, error){
+		func() (Msg, error) { return s.Single(1, nil) },
+		func() (Msg, error) { return s.Reliable(nil) },
+		func() (Msg, error) { return s.Create(1, nil) },
+		func() (Msg, error) { return s.Destroy(1, nil) },
+	} {
+		if _, err := f(); !errors.Is(err, ErrBatchOpen) {
+			t.Fatalf("non-batch op inside batch: %v", err)
+		}
+	}
+	if _, err := s.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	// After commit the batch is closed again.
+	if _, err := s.Single(1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReceiverRejectsGarbage(t *testing.T) {
+	_, r, _ := newPair()
+	if _, err := r.Receive("s", nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if _, err := r.Receive("s", []byte{99, 1, 2}); err == nil {
+		t.Fatal("unknown frame kind accepted")
+	}
+}
+
+func TestSeqContinuity(t *testing.T) {
+	s, _, _ := newPair()
+	var last ident.Seq
+	step := func(m Msg, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != last+1 {
+			t.Fatalf("seq %d after %d", m.Seq, last)
+		}
+		last = m.Seq
+	}
+	step(s.Single(1, nil))
+	step(s.Reliable(nil))
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	step(s.Member(1, nil))
+	step(s.Member(2, nil))
+	step(s.Commit(nil))
+	step(s.Create(3, nil))
+	step(s.Destroy(3, nil))
+}

@@ -1,0 +1,429 @@
+// Package check verifies executions of the group communication engine
+// against the safety properties of §3.2 of the paper:
+//
+//   - Semantic View Synchrony: if p installs consecutive views v and v+1
+//     and delivers m in v, every process installing both views delivers
+//     some m' with m ⊑ m' before installing v+1;
+//   - FIFO Semantically Reliable delivery: (i) per-sender delivery order
+//     follows multicast order; (ii) when p installs v and v+1 and delivers
+//     m' in v, every earlier message m of the same sender multicast in v is
+//     covered by some delivered m” before v+1 is installed;
+//   - Integrity: no creation, no duplication;
+//   - View agreement: processes installing the same view identifier agree
+//     on its membership.
+//
+// Coverage (⊑) is evaluated under the reflexive-transitive closure of the
+// encoded relation over the set of all multicast messages — the "true"
+// application-level relation. Encodings such as k-enumeration truncate
+// transitivity at their window; the closure restores the chains the
+// application semantics guarantee (§3.4 reasons with the mathematical
+// relation, not its encoding).
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// Recorder accumulates the observable events of one execution. It is safe
+// for concurrent use; every process of the group logs into the same
+// recorder.
+type Recorder struct {
+	mu sync.Mutex
+
+	rel obsolete.Relation
+	// initView is the identifier of the group's initial view, which every
+	// process installs implicitly before its first recorded event.
+	initView ident.ViewID
+	// multicast[id] is the metadata of every multicast message, keyed by
+	// (sender, seq); recorded at the sender.
+	multicast map[obsolete.MsgID]mcast
+	// deliveries[p] is the ordered delivery log of process p.
+	deliveries map[ident.PID][]Event
+}
+
+type mcast struct {
+	meta obsolete.Msg
+	view ident.ViewID
+}
+
+// EventKind discriminates recorded events.
+type EventKind uint8
+
+const (
+	// EvDeliver is a data delivery.
+	EvDeliver EventKind = iota + 1
+	// EvInstall is a view installation.
+	EvInstall
+)
+
+// Event is one entry of a process's delivery log.
+type Event struct {
+	Kind EventKind
+	// Deliver fields.
+	Meta obsolete.Msg
+	View ident.ViewID // view the message was delivered in
+	// Install fields.
+	ViewID  ident.ViewID
+	Members ident.PIDs
+}
+
+// NewRecorder returns a recorder checking against rel.
+func NewRecorder(rel obsolete.Relation) *Recorder {
+	if rel == nil {
+		rel = obsolete.Empty{}
+	}
+	return &Recorder{
+		rel:        rel,
+		multicast:  make(map[obsolete.MsgID]mcast),
+		deliveries: make(map[ident.PID][]Event),
+	}
+}
+
+// SetInitialView declares the identifier of the agreed initial view; every
+// process is considered to have installed it implicitly. Defaults to 0.
+func (r *Recorder) SetInitialView(id ident.ViewID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.initView = id
+}
+
+// Multicast records that meta was multicast in view v.
+func (r *Recorder) Multicast(meta obsolete.Msg, v ident.ViewID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.multicast[meta.ID()] = mcast{meta: meta, view: v}
+}
+
+// Deliver records that p delivered meta in view v.
+func (r *Recorder) Deliver(p ident.PID, meta obsolete.Msg, v ident.ViewID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deliveries[p] = append(r.deliveries[p], Event{Kind: EvDeliver, Meta: meta, View: v})
+}
+
+// Install records that p installed the given view.
+func (r *Recorder) Install(p ident.PID, id ident.ViewID, members ident.PIDs) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deliveries[p] = append(r.deliveries[p], Event{
+		Kind: EvInstall, ViewID: id, Members: members.Clone(),
+	})
+}
+
+// Log returns p's recorded event log.
+func (r *Recorder) Log(p ident.PID) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.deliveries[p]))
+	copy(out, r.deliveries[p])
+	return out
+}
+
+// Verify checks every property and returns the list of violations (empty
+// means the execution satisfies the specification).
+func (r *Recorder) Verify() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var errs []error
+	errs = append(errs, r.checkIntegrity()...)
+	errs = append(errs, r.checkFIFOOrder()...)
+	errs = append(errs, r.checkViewAgreement()...)
+	cov := r.newCoverage()
+	errs = append(errs, r.checkSVS(cov)...)
+	errs = append(errs, r.checkFIFOSR(cov)...)
+	return errs
+}
+
+// ---- Integrity -------------------------------------------------------------
+
+func (r *Recorder) checkIntegrity() []error {
+	var errs []error
+	for p, log := range r.deliveries {
+		seen := make(map[obsolete.MsgID]bool)
+		for _, ev := range log {
+			if ev.Kind != EvDeliver {
+				continue
+			}
+			id := ev.Meta.ID()
+			if _, ok := r.multicast[id]; !ok {
+				errs = append(errs, fmt.Errorf("integrity: %s delivered %v which was never multicast (creation)", p, id))
+			}
+			if seen[id] {
+				errs = append(errs, fmt.Errorf("integrity: %s delivered %v twice (duplication)", p, id))
+			}
+			seen[id] = true
+		}
+	}
+	return errs
+}
+
+// ---- FIFO clause (i) -------------------------------------------------------
+
+func (r *Recorder) checkFIFOOrder() []error {
+	var errs []error
+	for p, log := range r.deliveries {
+		last := make(map[ident.PID]ident.Seq)
+		for _, ev := range log {
+			if ev.Kind != EvDeliver {
+				continue
+			}
+			s := ev.Meta.Sender
+			if ev.Meta.Seq <= last[s] {
+				errs = append(errs, fmt.Errorf(
+					"fifo: %s delivered %s:%d after %s:%d", p, s, ev.Meta.Seq, s, last[s]))
+			}
+			last[s] = ev.Meta.Seq
+		}
+	}
+	return errs
+}
+
+// ---- View agreement --------------------------------------------------------
+
+func (r *Recorder) checkViewAgreement() []error {
+	var errs []error
+	views := make(map[ident.ViewID]ident.PIDs)
+	for p, log := range r.deliveries {
+		prev := ident.ViewID(0)
+		for _, ev := range log {
+			if ev.Kind != EvInstall {
+				continue
+			}
+			if ev.ViewID <= prev {
+				errs = append(errs, fmt.Errorf("views: %s installed view %d after %d", p, ev.ViewID, prev))
+			}
+			prev = ev.ViewID
+			if m, ok := views[ev.ViewID]; ok {
+				if !m.Equal(ev.Members) {
+					errs = append(errs, fmt.Errorf(
+						"views: membership disagreement for view %d: %v vs %v", ev.ViewID, m, ev.Members))
+				}
+			} else {
+				views[ev.ViewID] = ev.Members
+			}
+		}
+	}
+	return errs
+}
+
+// ---- Coverage (reflexive-transitive closure) --------------------------------
+
+// coverage answers m ⊑* n queries under the closure of the encoded
+// relation over all multicast messages, computed per sender (all provided
+// encodings are per-sender; a custom cross-sender relation is handled by
+// the direct test plus single-sender chains).
+type coverage struct {
+	rel obsolete.Relation
+	// bySender[s] is s's multicast stream in seq order.
+	bySender map[ident.PID][]obsolete.Msg
+	// reach[id] is the set of message ids that transitively cover id.
+	reach map[obsolete.MsgID]map[obsolete.MsgID]bool
+}
+
+func (r *Recorder) newCoverage() *coverage {
+	c := &coverage{
+		rel:      r.rel,
+		bySender: make(map[ident.PID][]obsolete.Msg),
+		reach:    make(map[obsolete.MsgID]map[obsolete.MsgID]bool),
+	}
+	for _, mc := range r.multicast {
+		c.bySender[mc.meta.Sender] = append(c.bySender[mc.meta.Sender], mc.meta)
+	}
+	for s := range c.bySender {
+		msgs := c.bySender[s]
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
+		c.bySender[s] = msgs
+		// Dynamic programming back-to-front: reach(i) = ∪ over direct
+		// successors j≻i of {j} ∪ reach(j).
+		for i := len(msgs) - 1; i >= 0; i-- {
+			set := make(map[obsolete.MsgID]bool)
+			for j := i + 1; j < len(msgs); j++ {
+				if c.rel.Obsoletes(msgs[i], msgs[j]) {
+					set[msgs[j].ID()] = true
+					for id := range c.reach[msgs[j].ID()] {
+						set[id] = true
+					}
+				}
+			}
+			c.reach[msgs[i].ID()] = set
+		}
+	}
+	return c
+}
+
+// coveredBy reports m ⊑* n.
+func (c *coverage) coveredBy(m, n obsolete.MsgID) bool {
+	if m == n {
+		return true
+	}
+	return c.reach[m][n]
+}
+
+// coveredByAny reports whether some id in set covers m.
+func (c *coverage) coveredByAny(m obsolete.MsgID, set map[obsolete.MsgID]bool) bool {
+	if set[m] {
+		return true
+	}
+	for n := range c.reach[m] {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- SVS ---------------------------------------------------------------------
+
+// installIndex returns, per process, the map view id → (index in log,
+// members) for every installed view, plus the initial implicit view 0...
+// callers pass explicit installs only.
+type installInfo struct {
+	index   int
+	members ident.PIDs
+}
+
+func installs(log []Event) map[ident.ViewID]installInfo {
+	out := make(map[ident.ViewID]installInfo)
+	for i, ev := range log {
+		if ev.Kind == EvInstall {
+			out[ev.ViewID] = installInfo{index: i, members: ev.Members}
+		}
+	}
+	return out
+}
+
+// deliveredInViewBefore collects the ids of messages delivered by log in
+// view v before index bound (negative bound = entire log).
+func deliveredInViewBefore(log []Event, v ident.ViewID, bound int) map[obsolete.MsgID]bool {
+	out := make(map[obsolete.MsgID]bool)
+	for i, ev := range log {
+		if bound >= 0 && i >= bound {
+			break
+		}
+		if ev.Kind == EvDeliver && ev.View == v {
+			out[ev.Meta.ID()] = true
+		}
+	}
+	return out
+}
+
+// checkSVS verifies the Semantic View Synchrony property for every pair of
+// processes and every pair of consecutive views both installed.
+func (r *Recorder) checkSVS(cov *coverage) []error {
+	var errs []error
+	type pinfo struct {
+		p        ident.PID
+		log      []Event
+		installs map[ident.ViewID]installInfo
+	}
+	var ps []pinfo
+	for p, log := range r.deliveries {
+		ps = append(ps, pinfo{p: p, log: log, installs: installs(log)})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].p < ps[j].p })
+
+	for _, a := range ps {
+		for vid, next := range a.installs {
+			if vid == 0 {
+				continue
+			}
+			prev := vid - 1
+			// Messages a delivered in view prev (any time: SVS constrains
+			// what *others* must deliver before installing vid).
+			got := deliveredInViewBefore(a.log, prev, -1)
+			if len(got) == 0 {
+				continue
+			}
+			_ = next
+			for _, b := range ps {
+				if b.p == a.p {
+					continue
+				}
+				bi, ok := b.installs[vid]
+				if !ok {
+					continue // b did not install vid: not constrained
+				}
+				if _, ok := b.installs[prev]; !ok && prev != r.initView {
+					// b installed vid but never prev: it was not a member
+					// of prev, so SVS does not constrain it. The initial
+					// view is installed implicitly by everyone.
+					continue
+				}
+				// What b delivered (in view prev) before installing vid.
+				bGot := deliveredInViewBefore(b.log, prev, bi.index)
+				for m := range got {
+					if !cov.coveredByAny(m, bGot) {
+						errs = append(errs, fmt.Errorf(
+							"svs: %s delivered %v in view %d but %s installed view %d without a covering delivery",
+							a.p, m, prev, b.p, vid))
+					}
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// checkFIFOSR verifies clause (ii) of FIFO Semantically Reliable delivery:
+// if p installs v and v+1 and delivers m' (sender s, multicast in v) in v,
+// then every message m that s multicast in v before m' is covered by one
+// of p's deliveries before the installation of v+1.
+func (r *Recorder) checkFIFOSR(cov *coverage) []error {
+	var errs []error
+
+	// Group multicasts by (sender, view) in seq order.
+	type sv struct {
+		s ident.PID
+		v ident.ViewID
+	}
+	streams := make(map[sv][]obsolete.Msg)
+	for _, mc := range r.multicast {
+		k := sv{s: mc.meta.Sender, v: mc.view}
+		streams[k] = append(streams[k], mc.meta)
+	}
+	for k := range streams {
+		msgs := streams[k]
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
+		streams[k] = msgs
+	}
+
+	for p, log := range r.deliveries {
+		ins := installs(log)
+		for vid, info := range ins {
+			if vid == 0 {
+				continue
+			}
+			prev := vid - 1
+			delivered := deliveredInViewBefore(log, prev, info.index)
+			if len(delivered) == 0 {
+				continue
+			}
+			// Highest delivered seq per sender within view prev.
+			maxSeq := make(map[ident.PID]ident.Seq)
+			for id := range delivered {
+				if id.Seq > maxSeq[id.Sender] {
+					maxSeq[id.Sender] = id.Seq
+				}
+			}
+			for s, hi := range maxSeq {
+				for _, m := range streams[sv{s: s, v: prev}] {
+					if m.Seq >= hi {
+						break
+					}
+					if !cov.coveredByAny(m.ID(), delivered) {
+						errs = append(errs, fmt.Errorf(
+							"fifo-sr: %s delivered %s:%d in view %d but predecessor %s:%d is uncovered before view %d",
+							p, s, hi, prev, s, m.Seq, vid))
+					}
+				}
+			}
+		}
+	}
+	return errs
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+	"repro/internal/transport"
+)
+
+// Config assembles an Engine. Self, Endpoint, Detector and InitialView are
+// required; everything else has working defaults.
+type Config struct {
+	// Self is this process's identifier; it must be a member of
+	// InitialView and equal Endpoint.Self().
+	Self ident.PID
+	// Endpoint connects the process to its peers.
+	Endpoint transport.Endpoint
+	// Detector is the failure detector oracle. The engine consumes its
+	// Events channel.
+	Detector fd.Detector
+	// InitialView is the agreed first view (same at every member).
+	InitialView View
+	// Relation is the obsolescence relation; nil means the empty relation,
+	// i.e. classic View Synchrony.
+	Relation obsolete.Relation
+
+	// ToDeliverCap bounds the delivery queue (Figure 1's to-deliver).
+	// 0 means unbounded. A full queue exerts flow control on senders.
+	ToDeliverCap int
+	// OutgoingCap bounds each per-peer outgoing queue used when the peer
+	// is out of window credits. 0 means unbounded.
+	OutgoingCap int
+	// Window is the per-sender flow-control window (credits) a receiver
+	// grants. 0 disables credit flow control entirely: sends go straight
+	// to the network and only ToDeliverCap provides backpressure (the
+	// receiver simply stops reading).
+	Window int
+
+	// AutoEvict makes the engine initiate a view change excluding any
+	// process the failure detector suspects. Applications that prefer to
+	// decide themselves (the paper argues eviction should be a last
+	// resort) leave it false and call RequestViewChange explicitly.
+	AutoEvict bool
+
+	// StabilityInterval enables reception-frontier gossip at the given
+	// period: messages known received by every member are pruned from the
+	// delivery history and excluded from view-change flush sets (see
+	// stability.go). Zero disables stability tracking.
+	StabilityInterval time.Duration
+}
+
+// Errors returned by the engine facade.
+var (
+	ErrStopped   = errors.New("core: engine stopped")
+	ErrExpelled  = errors.New("core: process expelled from the group")
+	ErrNotMember = errors.New("core: process not in current view")
+	ErrBadSeq    = errors.New("core: multicast sequence number not contiguous")
+)
+
+func (c *Config) validate() error {
+	if c.Self == "" {
+		return fmt.Errorf("core: config: Self is required")
+	}
+	if c.Endpoint == nil {
+		return fmt.Errorf("core: config: Endpoint is required")
+	}
+	if c.Endpoint.Self() != c.Self {
+		return fmt.Errorf("core: config: Endpoint.Self() %q != Self %q", c.Endpoint.Self(), c.Self)
+	}
+	if c.Detector == nil {
+		return fmt.Errorf("core: config: Detector is required")
+	}
+	if len(c.InitialView.Members) == 0 {
+		return fmt.Errorf("core: config: InitialView must have members")
+	}
+	if !c.InitialView.Includes(c.Self) {
+		return fmt.Errorf("core: config: Self %q not in InitialView %v", c.Self, c.InitialView.Members)
+	}
+	if c.ToDeliverCap < 0 || c.OutgoingCap < 0 || c.Window < 0 {
+		return fmt.Errorf("core: config: negative capacity")
+	}
+	if c.Relation == nil {
+		c.Relation = obsolete.Empty{}
+	}
+	return nil
+}

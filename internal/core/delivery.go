@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// DeliveryKind discriminates what Deliver returned.
+type DeliveryKind uint8
+
+const (
+	// DeliverData is an application message.
+	DeliverData DeliveryKind = iota + 1
+	// DeliverView is a view notification: the membership changed and every
+	// message delivered earlier is covered group-wide (SVS).
+	DeliverView
+	// DeliverExpelled tells the application this process was removed from
+	// the group by the new view; no further deliveries follow.
+	DeliverExpelled
+)
+
+func (k DeliveryKind) String() string {
+	switch k {
+	case DeliverData:
+		return "data"
+	case DeliverView:
+		return "view"
+	case DeliverExpelled:
+		return "expelled"
+	default:
+		return "unknown"
+	}
+}
+
+// Delivery is one item handed to the application by Deliver — either a
+// data message or a view notification, in the exact order the protocol
+// prescribes (Figure 1 models views as control messages in the delivery
+// queue).
+type Delivery struct {
+	Kind DeliveryKind
+	// View is the view the item belongs to: for data, the view it was
+	// multicast in; for view notifications, the new view's identifier.
+	View ident.ViewID
+	// Meta and Payload are set for data deliveries.
+	Meta    obsolete.Msg
+	Payload []byte
+	// NewView is set for view (and expelled) notifications.
+	NewView View
+}
+
+// Stats exposes the engine's counters; all values are cumulative since
+// Start except where noted.
+type Stats struct {
+	// View is the identifier of the current view.
+	View ident.ViewID
+	// Members is the current membership size.
+	Members int
+
+	Multicast      uint64 // messages multicast by this process
+	Delivered      uint64 // data messages delivered to the application
+	ViewsInstalled uint64
+
+	PurgedToDeliver uint64 // entries purged from the delivery queue
+	PurgedOutgoing  uint64 // entries purged from outgoing (per-peer) queues
+	DroppedStale    uint64 // arrivals discarded: wrong view
+	DroppedCovered  uint64 // arrivals discarded: duplicate or covered (t3)
+
+	FlushAdded   uint64 // messages adopted from decided flush sets
+	LastFlushLen int    // size of the last decided flush set
+
+	MulticastParks uint64 // times a multicast had to wait (flow control)
+	ToDeliverLen   int    // current delivery-queue occupancy
+	ToDeliverMax   int    // high-water mark of the delivery queue
+
+	StablePruned uint64 // history entries reclaimed by stability tracking
+	HistoryLen   int    // current delivery-history size (flush-set bound)
+}

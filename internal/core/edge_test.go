@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+	"repro/internal/transport"
+)
+
+func TestDeliverContextCancel(t *testing.T) {
+	h := newGroup(t, harnessOpts{n: 2, rel: obsolete.Empty{}})
+	// Pause the driver so we can race our own Deliver against it... the
+	// driver already consumes; use a second caller with a cancelled ctx.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.members["p0"].eng.Deliver(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMulticastContextTimeoutWhileParked(t *testing.T) {
+	// Stopped consumer + tiny buffers: the multicast parks; its context
+	// expiry must release the caller with ctx.Err.
+	h := newGroup(t, harnessOpts{n: 2, rel: obsolete.Empty{}, toDeliverCap: 2, outgoingCap: 2, window: 2})
+	m := h.members["p1"]
+	m.mu.Lock()
+	m.paused = true
+	m.mu.Unlock()
+
+	var seq ident.Seq
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		seq++
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		_, err := h.members["p0"].eng.Multicast(ctx, obsolete.Msg{Sender: "p0", Seq: seq}, nil)
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) {
+			break // parked and timed out, as intended
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		h.rec.Multicast(obsolete.Msg{Sender: "p0", Seq: seq}, 1)
+		if time.Now().After(deadline) {
+			t.Fatal("producer never blocked against a paused consumer")
+		}
+	}
+	// The engine survives: un-pause and verify the group still works. The
+	// timed-out message was never committed, so the tracker retries the
+	// same sequence number.
+	m.mu.Lock()
+	m.paused = false
+	m.mu.Unlock()
+	retry := seq
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := h.members["p0"].eng.Multicast(ctx, obsolete.Msg{Sender: "p0", Seq: retry}, nil); err != nil {
+		t.Fatalf("retry after timeout: %v", err)
+	}
+	h.rec.Multicast(obsolete.Msg{Sender: "p0", Seq: retry}, 1)
+	h.waitDelivered("p1", func(log []check.Event) bool { return hasSeq(log, "p0", retry) })
+	h.verify()
+}
+
+func TestStopWhileParkedReleasesCallers(t *testing.T) {
+	h := newGroup(t, harnessOpts{n: 2, rel: obsolete.Empty{}, toDeliverCap: 1, outgoingCap: 1, window: 1})
+	m := h.members["p1"]
+	m.mu.Lock()
+	m.paused = true
+	m.mu.Unlock()
+
+	errC := make(chan error, 1)
+	go func() {
+		var seq ident.Seq
+		for {
+			seq++
+			_, err := h.members["p0"].eng.Multicast(context.Background(), obsolete.Msg{Sender: "p0", Seq: seq}, nil)
+			if err != nil {
+				errC <- err
+				return
+			}
+		}
+	}()
+	// Give the producer time to park, then stop the engine under it.
+	time.Sleep(100 * time.Millisecond)
+	h.members["p0"].eng.Stop()
+	select {
+	case err := <-errC:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("err = %v, want ErrStopped", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parked multicast not released by Stop")
+	}
+}
+
+func TestSingleMemberGroup(t *testing.T) {
+	// A group of one: multicast delivers locally; a view change runs
+	// consensus with itself.
+	net := transport.NewMemNetwork()
+	ep, err := net.Endpoint("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	det := fd.NewManual()
+	defer det.Stop()
+	eng, err := New(Config{
+		Self: "solo", Endpoint: ep, Detector: det,
+		InitialView: View{ID: 1, Members: ident.NewPIDs("solo")},
+		Relation:    obsolete.Tagging{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := eng.Multicast(ctx, obsolete.Msg{Sender: "solo", Seq: 1, Annot: obsolete.TagAnnot(1)}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Deliver(ctx)
+	if err != nil || d.Kind != DeliverData || string(d.Payload) != "x" {
+		t.Fatalf("deliver = %+v, %v", d, err)
+	}
+	if err := eng.RequestViewChange(); err != nil {
+		t.Fatal(err)
+	}
+	d, err = eng.Deliver(ctx)
+	if err != nil || d.Kind != DeliverView || d.NewView.ID != 2 {
+		t.Fatalf("view deliver = %+v, %v", d, err)
+	}
+}
+
+func TestDoubleStopIsSafe(t *testing.T) {
+	h := newGroup(t, harnessOpts{n: 2, rel: obsolete.Empty{}})
+	h.members["p0"].eng.Stop()
+	h.members["p0"].eng.Stop()
+	if _, err := h.members["p0"].eng.Multicast(context.Background(), obsolete.Msg{Sender: "p0", Seq: 1}, nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("multicast after stop: %v", err)
+	}
+	if _, err := h.members["p0"].eng.Deliver(context.Background()); !errors.Is(err, ErrStopped) {
+		t.Fatalf("deliver after stop: %v", err)
+	}
+	if err := h.members["p0"].eng.RequestViewChange(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("view change after stop: %v", err)
+	}
+}
+
+func TestRapidBackToBackViewChanges(t *testing.T) {
+	// Regression: an initiator that installs view v and immediately
+	// INITs the change to v+1 races peers still finishing v. The INIT
+	// used to be dropped at those peers, stranding the initiator blocked
+	// forever; future-view control traffic is now deferred and replayed.
+	h := newGroup(t, harnessOpts{n: 3, rel: obsolete.Tagging{}})
+	const changes = 6
+	for i := 0; i < changes; i++ {
+		if err := h.members["p0"].eng.RequestViewChange(); err != nil {
+			t.Fatal(err)
+		}
+		// Wait only for the initiator — the next INIT intentionally races
+		// the other members' installs.
+		deadline := time.After(15 * time.Second)
+		for h.members["p0"].eng.Stats().View < ident.ViewID(2+i) {
+			select {
+			case <-deadline:
+				t.Fatalf("change %d stuck: %+v", i, h.members["p0"].eng.Stats())
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	for _, p := range h.pids {
+		h.waitView(p, ident.ViewID(1+changes))
+	}
+	h.verify()
+}
+
+func TestViewChangeWithUnknownLeaver(t *testing.T) {
+	// Asking to remove a non-member is harmless: leave ∩ members = ∅.
+	h := newGroup(t, harnessOpts{n: 2, rel: obsolete.Empty{}})
+	if err := h.members["p0"].eng.RequestViewChange("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range h.pids {
+		v := h.waitView(p, 2)
+		if !v.Members.Equal(h.pids) {
+			t.Fatalf("membership changed by ghost leaver: %v", v)
+		}
+	}
+	h.verify()
+}

@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+	"repro/internal/queue"
+	"repro/internal/transport"
+)
+
+// Engine is one group member running the SVS protocol of Figure 1. Create
+// it with New, drive it with Multicast / Deliver / RequestViewChange, and
+// shut it down with Stop.
+type Engine struct {
+	cfg  Config
+	rel  obsolete.Relation
+	cons *consensus.Service
+
+	reqC  chan *request
+	decC  chan decision
+	stopC chan struct{}
+	doneC chan struct{}
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	once    sync.Once
+
+	// Snapshot mirrors (written by the loop under mu, read by the facade).
+	mu       sync.Mutex
+	curView  View
+	curStats Stats
+
+	// ---- state below is owned exclusively by the run loop ----
+
+	cv       View
+	blocked  bool
+	expelled bool
+	proposed bool
+
+	toDeliver *queue.Queue
+	delivered *queue.Queue // current-view delivery history (for pred sets)
+	recvMax   map[ident.PID]ident.Seq
+	lastSent  ident.Seq
+	stalled   *DataMsg // one arrival awaiting queue space (flow control)
+
+	leave        ident.PIDs
+	globalPred   map[obsolete.MsgID]DataMsg
+	predReceived ident.PIDs
+
+	flow *flowState
+
+	// Stability tracking (see stability.go).
+	recvTable map[ident.PID]map[ident.PID]ident.Seq
+	stable    map[ident.PID]ident.Seq
+	stabTick  *time.Ticker
+
+	deliverWaiters []*request
+	multicastQ     []*request
+	deferredCtl    []transport.Envelope // control traffic for future views
+
+	stats Stats
+}
+
+type reqKind uint8
+
+const (
+	reqMulticast reqKind = iota + 1
+	reqDeliver
+	reqViewChange
+)
+
+type request struct {
+	kind reqKind
+	ctx  context.Context
+
+	meta    obsolete.Msg // multicast
+	payload []byte
+	leave   ident.PIDs // view change
+
+	errC chan error    // view change / deliver failure reply
+	mcC  chan mcResult // multicast reply
+	delC chan Delivery // deliver reply
+}
+
+// mcResult reports the outcome of a multicast: the view in which the
+// message was sent, or an error.
+type mcResult struct {
+	view ident.ViewID
+	err  error
+}
+
+// decision carries a consensus outcome back into the loop.
+type decision struct {
+	forView ident.ViewID
+	val     consensusValue
+	err     error
+}
+
+// New validates cfg and assembles a stopped engine; call Start.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:        cfg,
+		rel:        cfg.Relation,
+		cons:       consensus.New(cfg.Endpoint, cfg.Detector),
+		reqC:       make(chan *request, 64),
+		decC:       make(chan decision, 4),
+		stopC:      make(chan struct{}),
+		doneC:      make(chan struct{}),
+		rootCtx:    ctx,
+		cancel:     cancel,
+		cv:         cfg.InitialView.Clone(),
+		toDeliver:  queue.New(cfg.Relation, cfg.ToDeliverCap),
+		delivered:  queue.New(cfg.Relation, 0),
+		recvMax:    make(map[ident.PID]ident.Seq),
+		globalPred: make(map[obsolete.MsgID]DataMsg),
+		flow:       newFlowState(cfg, cfg.InitialView.Members),
+	}
+	e.curView = e.cv.Clone()
+	return e, nil
+}
+
+// Start launches the consensus service and the protocol loop.
+func (e *Engine) Start() error {
+	e.cons.Start()
+	if e.cfg.StabilityInterval > 0 {
+		e.stabTick = time.NewTicker(e.cfg.StabilityInterval)
+	}
+	go e.run()
+	return nil
+}
+
+// Stop terminates the engine. Parked Multicast and Deliver calls return
+// ErrStopped. Stop does not close the endpoint or the detector; the caller
+// owns those.
+func (e *Engine) Stop() {
+	e.once.Do(func() {
+		e.cancel()
+		close(e.stopC)
+		<-e.doneC
+		e.cons.Stop()
+	})
+}
+
+// Self returns this process's identifier.
+func (e *Engine) Self() ident.PID { return e.cfg.Self }
+
+// View returns the most recently installed view.
+func (e *Engine) View() View {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.curView.Clone()
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.curStats
+}
+
+// Multicast submits a data message to the group (transition t2). meta must
+// come from an obsolescence tracker over this process's stream: sequence
+// numbers must be contiguous starting at 1. The call blocks while the
+// protocol exercises flow control (buffers full or view change in
+// progress) until the message is accepted, ctx is done, or the engine
+// stops. On success it returns the identifier of the view the message was
+// multicast in.
+func (e *Engine) Multicast(ctx context.Context, meta obsolete.Msg, payload []byte) (ident.ViewID, error) {
+	req := &request{
+		kind:    reqMulticast,
+		ctx:     ctx,
+		meta:    meta,
+		payload: payload,
+		mcC:     make(chan mcResult, 1),
+	}
+	if err := e.submit(ctx, req); err != nil {
+		return 0, err
+	}
+	select {
+	case res := <-req.mcC:
+		return res.view, res.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-e.doneC:
+		return 0, ErrStopped
+	}
+}
+
+// Deliver returns the next item of the delivery queue (transition t1),
+// blocking until one is available. This pull interface is deliberate: the
+// paper uses a down-call style "to ensure that messages not being
+// processed are kept in the protocol buffers", where they stay purgeable.
+func (e *Engine) Deliver(ctx context.Context) (Delivery, error) {
+	req := &request{
+		kind: reqDeliver,
+		ctx:  ctx,
+		delC: make(chan Delivery, 1),
+		errC: make(chan error, 1),
+	}
+	if err := e.submit(ctx, req); err != nil {
+		return Delivery{}, err
+	}
+	select {
+	case d := <-req.delC:
+		return d, nil
+	case err := <-req.errC:
+		return Delivery{}, err
+	case <-ctx.Done():
+		return Delivery{}, ctx.Err()
+	case <-e.doneC:
+		return Delivery{}, ErrStopped
+	}
+}
+
+// RequestViewChange triggers the view change protocol (transition t4),
+// asking for the given processes to leave the group. It returns as soon as
+// the INIT is disseminated; the new view arrives as a DeliverView item.
+func (e *Engine) RequestViewChange(leave ...ident.PID) error {
+	req := &request{
+		kind:  reqViewChange,
+		ctx:   context.Background(),
+		leave: ident.NewPIDs(leave...),
+		errC:  make(chan error, 1),
+	}
+	if err := e.submit(context.Background(), req); err != nil {
+		return err
+	}
+	select {
+	case err := <-req.errC:
+		return err
+	case <-e.doneC:
+		return ErrStopped
+	}
+}
+
+func (e *Engine) submit(ctx context.Context, req *request) error {
+	select {
+	case e.reqC <- req:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.doneC:
+		return ErrStopped
+	}
+}
+
+// run is the protocol loop: a single goroutine owning all state.
+func (e *Engine) run() {
+	defer close(e.doneC)
+	dataIn := e.cfg.Endpoint.Inbox(transport.Data)
+	ctlIn := e.cfg.Endpoint.Inbox(transport.Ctl)
+	fdEv := e.cfg.Detector.Events()
+	var stabC <-chan time.Time
+	if e.stabTick != nil {
+		stabC = e.stabTick.C
+		defer e.stabTick.Stop()
+	}
+
+	for {
+		// Flow control: while blocked, stalled or expelled, leave data in
+		// the transport; senders run out of credits and stop.
+		dataC := dataIn
+		if e.blocked || e.expelled || e.stalled != nil || e.toDeliver.Full() {
+			dataC = nil
+		}
+		select {
+		case <-e.stopC:
+			e.shutdown()
+			return
+		case env, ok := <-dataC:
+			if !ok {
+				dataIn = nil
+				break
+			}
+			e.onData(env)
+		case env, ok := <-ctlIn:
+			if !ok {
+				ctlIn = nil
+				break
+			}
+			e.onCtl(env)
+		case ev, ok := <-fdEv:
+			if !ok {
+				fdEv = nil
+				break
+			}
+			e.onSuspicion(ev)
+		case req := <-e.reqC:
+			e.onRequest(req)
+		case dec := <-e.decC:
+			e.onDecision(dec)
+		case <-stabC:
+			e.gossipStability()
+		}
+		e.syncSnapshots()
+	}
+}
+
+// syncSnapshots mirrors loop-owned state into the facade-visible copies.
+func (e *Engine) syncSnapshots() {
+	e.stats.View = e.cv.ID
+	e.stats.Members = len(e.cv.Members)
+	e.stats.ToDeliverLen = e.toDeliver.Len()
+	e.stats.HistoryLen = e.delivered.Len()
+	if st := e.toDeliver.Stats(); st.MaxLen > e.stats.ToDeliverMax {
+		e.stats.ToDeliverMax = st.MaxLen
+	}
+	e.mu.Lock()
+	e.curView = e.cv.Clone()
+	e.curStats = e.stats
+	e.mu.Unlock()
+}
+
+// shutdown fails every parked request.
+func (e *Engine) shutdown() {
+	for _, w := range e.deliverWaiters {
+		w.errC <- ErrStopped
+	}
+	e.deliverWaiters = nil
+	for _, m := range e.multicastQ {
+		m.mcC <- mcResult{err: ErrStopped}
+	}
+	e.multicastQ = nil
+	e.syncSnapshots()
+}
+
+// onRequest dispatches an application request.
+func (e *Engine) onRequest(req *request) {
+	switch req.kind {
+	case reqMulticast:
+		e.onMulticastReq(req)
+	case reqDeliver:
+		e.deliverWaiters = append(e.deliverWaiters, req)
+		e.serveDeliveries()
+	case reqViewChange:
+		req.errC <- e.triggerViewChange(req.leave)
+	}
+}

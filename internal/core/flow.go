@@ -1,0 +1,123 @@
+package core
+
+import (
+	"repro/internal/ident"
+	"repro/internal/queue"
+	"repro/internal/transport"
+)
+
+// flowState implements the credit window flow control that reproduces the
+// paper's buffer model in a live group: every receiver grants each sender
+// a window of Window buffer slots; a sender without credits queues in a
+// bounded per-peer outgoing queue; a full outgoing queue blocks the
+// application's multicast. Credits flow back as the receiver delivers or
+// purges — purging is what lets a slow SVS receiver keep its senders
+// unblocked (§2.3).
+//
+// The zero Window disables the mechanism: sends go straight to the
+// network.
+type flowState struct {
+	cfg Config
+
+	avail map[ident.PID]int          // credits I hold at each peer (sender side)
+	out   map[ident.PID]*queue.Queue // pending sends per peer
+	owed  map[ident.PID]int          // freed slots not yet granted (receiver side)
+}
+
+func newFlowState(cfg Config, members ident.PIDs) *flowState {
+	f := &flowState{cfg: cfg}
+	f.reset(members)
+	return f
+}
+
+// reset re-arms the window for a new view: both sides return to a full
+// window by convention, with empty outgoing queues.
+func (f *flowState) reset(members ident.PIDs) {
+	f.avail = make(map[ident.PID]int, len(members))
+	f.out = make(map[ident.PID]*queue.Queue, len(members))
+	f.owed = make(map[ident.PID]int, len(members))
+	for _, p := range members {
+		if p == f.cfg.Self {
+			continue
+		}
+		f.avail[p] = f.cfg.Window
+		f.out[p] = queue.New(f.cfg.Relation, f.cfg.OutgoingCap)
+	}
+}
+
+// enabled reports whether credit flow control is active.
+func (f *flowState) enabled() bool { return f.cfg.Window > 0 }
+
+// hasCredit reports whether a message to p could be sent immediately.
+func (f *flowState) hasCredit(p ident.PID) bool {
+	return !f.enabled() || f.avail[p] > 0
+}
+
+// takeCredit consumes one credit for a send to p, reporting false when the
+// message must be queued instead.
+func (f *flowState) takeCredit(p ident.PID) bool {
+	if !f.enabled() {
+		return true
+	}
+	if f.avail[p] <= 0 {
+		return false
+	}
+	f.avail[p]--
+	return true
+}
+
+// credit adds credits granted by peer p.
+func (f *flowState) credit(p ident.PID, n int) {
+	if !f.enabled() || n <= 0 {
+		return
+	}
+	f.avail[p] += n
+}
+
+// pending returns the outgoing queue towards p (nil when flow control is
+// disabled).
+func (f *flowState) pending(p ident.PID) *queue.Queue {
+	if !f.enabled() {
+		return nil
+	}
+	return f.out[p]
+}
+
+// freed records that one buffer slot previously charged to sender p is
+// free again (delivered, purged, or dropped as covered), granting credits
+// in batches to bound control chatter.
+func (f *flowState) freed(p ident.PID, e *Engine) {
+	if !f.enabled() {
+		return
+	}
+	f.owed[p]++
+	batch := f.cfg.Window / 4
+	if batch < 1 {
+		batch = 1
+	}
+	if f.owed[p] >= batch {
+		n := f.owed[p]
+		f.owed[p] = 0
+		_ = e.cfg.Endpoint.Send(p, transport.Ctl, CreditMsg{View: e.cv.ID, Credits: n})
+	}
+}
+
+// drainOutgoing flushes the pending queue towards p while credits last.
+func (e *Engine) drainOutgoing(p ident.PID) {
+	out := e.flow.pending(p)
+	if out == nil {
+		return
+	}
+	for out.Len() > 0 && e.flow.hasCredit(p) {
+		it, _ := out.PopHead()
+		if it.View != uint64(e.cv.ID) {
+			continue // stale: the view changed while it waited
+		}
+		if !e.flow.takeCredit(p) {
+			break
+		}
+		_ = e.cfg.Endpoint.Send(p, transport.Data, DataMsg{
+			View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload,
+		})
+	}
+}

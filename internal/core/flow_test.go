@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+func TestFlowDisabledUnboundedNeverParks(t *testing.T) {
+	// Window 0 disables credit flow control entirely; with unbounded
+	// queues multicasts never park.
+	h := newGroup(t, harnessOpts{n: 3, rel: obsolete.Tagging{}})
+	for i := 1; i <= 100; i++ {
+		if err := h.multicast("p0", ident.Seq(i), obsolete.TagAnnot(uint32(i%5)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := h.members["p0"].eng.Stats(); st.MulticastParks != 0 {
+		t.Fatalf("parks = %d with flow control disabled", st.MulticastParks)
+	}
+	h.verify()
+}
+
+func TestFlowStateCredits(t *testing.T) {
+	cfg := Config{Self: "me", Window: 4, OutgoingCap: 8, Relation: obsolete.Empty{}}
+	f := newFlowState(cfg, ident.NewPIDs("me", "peer"))
+
+	if !f.enabled() {
+		t.Fatal("window 4 should enable flow control")
+	}
+	for i := 0; i < 4; i++ {
+		if !f.hasCredit("peer") || !f.takeCredit("peer") {
+			t.Fatalf("credit %d unavailable", i)
+		}
+	}
+	if f.hasCredit("peer") || f.takeCredit("peer") {
+		t.Fatal("credit available past the window")
+	}
+	f.credit("peer", 2)
+	if !f.takeCredit("peer") || !f.takeCredit("peer") || f.takeCredit("peer") {
+		t.Fatal("granted credits miscounted")
+	}
+	// Negative and zero grants are ignored.
+	f.credit("peer", 0)
+	f.credit("peer", -5)
+	if f.hasCredit("peer") {
+		t.Fatal("non-positive grant added credit")
+	}
+	// Reset re-arms the full window.
+	f.reset(ident.NewPIDs("me", "peer"))
+	for i := 0; i < 4; i++ {
+		if !f.takeCredit("peer") {
+			t.Fatalf("credit %d unavailable after reset", i)
+		}
+	}
+}
+
+func TestFlowStateDisabled(t *testing.T) {
+	cfg := Config{Self: "me", Relation: obsolete.Empty{}}
+	f := newFlowState(cfg, ident.NewPIDs("me", "peer"))
+	if f.enabled() {
+		t.Fatal("window 0 must disable flow control")
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.takeCredit("peer") {
+			t.Fatal("disabled flow control must never refuse")
+		}
+	}
+	if f.pending("peer") != nil {
+		t.Fatal("disabled flow control must have no outgoing queues")
+	}
+}
+
+func TestBlockedProducerUnblocksWhenConsumerResumes(t *testing.T) {
+	// A paused consumer exhausts the producer's window; resuming it must
+	// release the parked multicast (the engine-level analogue of the
+	// perturbation experiment, Fig. 5b).
+	h := newGroup(t, harnessOpts{
+		n: 2, rel: obsolete.Empty{}, // no purging: pressure builds
+		toDeliverCap: 4, outgoingCap: 4, window: 4,
+	})
+	// Pause p1's application entirely.
+	m := h.members["p1"]
+	m.mu.Lock()
+	m.paused = true
+	m.mu.Unlock()
+
+	// Fill far beyond window+buffer: the producer must eventually park.
+	done := make(chan error, 1)
+	go func() {
+		for i := 1; i <= 40; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, err := h.members["p0"].eng.Multicast(ctx,
+				obsolete.Msg{Sender: "p0", Seq: ident.Seq(i)}, []byte{byte(i)})
+			cancel()
+			if err != nil {
+				done <- err
+				return
+			}
+			h.rec.Multicast(obsolete.Msg{Sender: "p0", Seq: ident.Seq(i)}, 1)
+		}
+		done <- nil
+	}()
+
+	// The producer must be stuck while p1 naps...
+	select {
+	case err := <-done:
+		t.Fatalf("producer finished against a stopped consumer: %v", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+	if st := h.members["p0"].eng.Stats(); st.MulticastParks == 0 {
+		t.Fatal("producer never parked against a stopped consumer")
+	}
+
+	// ... and released once it wakes up.
+	m.mu.Lock()
+	m.paused = false
+	m.mu.Unlock()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("producer never unblocked after consumer resumed")
+	}
+	h.waitDelivered("p1", func(log []check.Event) bool { return hasSeq(log, "p0", 40) })
+	h.verify()
+}

@@ -1,0 +1,559 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+	"repro/internal/queue"
+	"repro/internal/transport"
+)
+
+// ---- t2: multicast -------------------------------------------------------
+
+func (e *Engine) onMulticastReq(req *request) {
+	if err := e.multicastPrecheck(req); err != nil {
+		req.mcC <- mcResult{err: err}
+		return
+	}
+	// Park while the group is blocked or buffers lack room; install,
+	// credit arrivals and deliveries retry the queue head.
+	if e.blocked || !e.canCommit(req) {
+		e.stats.MulticastParks++
+		e.multicastQ = append(e.multicastQ, req)
+		return
+	}
+	e.commitMulticast(req)
+}
+
+func (e *Engine) multicastPrecheck(req *request) error {
+	if e.expelled {
+		return ErrExpelled
+	}
+	if !e.cv.Includes(e.cfg.Self) {
+		return ErrNotMember
+	}
+	if req.meta.Seq != e.lastSent+1 {
+		return ErrBadSeq
+	}
+	return nil
+}
+
+// canCommit reports whether the message fits everywhere it must be
+// buffered, counting the entries its arrival would purge. The check is
+// all-or-nothing: no queue is touched unless every queue fits, so a parked
+// multicast never half-purges state it has not yet committed to send.
+func (e *Engine) canCommit(req *request) bool {
+	it := e.dataItem(req)
+	if fullAfterPurge(e.toDeliver, it) {
+		return false
+	}
+	for _, p := range e.cv.Members {
+		if p == e.cfg.Self {
+			continue
+		}
+		if out := e.flow.pending(p); out != nil && !e.flow.hasCredit(p) && fullAfterPurge(out, it) {
+			return false
+		}
+	}
+	return true
+}
+
+func fullAfterPurge(q *queue.Queue, it queue.Item) bool {
+	if q.Cap() == 0 {
+		return false
+	}
+	return q.Len()-q.CountPurgeableFor(it) >= q.Cap()
+}
+
+func (e *Engine) dataItem(req *request) queue.Item {
+	meta := req.meta
+	meta.Sender = e.cfg.Self
+	return queue.Item{
+		Kind:    queue.Data,
+		View:    uint64(e.cv.ID),
+		Meta:    meta,
+		Payload: req.payload,
+	}
+}
+
+func (e *Engine) commitMulticast(req *request) {
+	it := e.dataItem(req)
+	dm := DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload}
+
+	e.lastSent = it.Meta.Seq
+	e.purgeCredits(e.toDeliver.PurgeFor(it))
+	e.toDeliver.ForceAppend(it) // room guaranteed by canCommit
+	for _, p := range e.cv.Members {
+		if p == e.cfg.Self {
+			continue
+		}
+		e.sendData(p, dm)
+	}
+	e.stats.Multicast++
+	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
+	req.mcC <- mcResult{view: e.cv.ID}
+	e.serveDeliveries()
+}
+
+// sendData transmits dm to p, or buffers it in the per-peer outgoing queue
+// when p is out of window credits.
+func (e *Engine) sendData(p ident.PID, dm DataMsg) {
+	if e.flow.takeCredit(p) {
+		_ = e.cfg.Endpoint.Send(p, transport.Data, dm)
+		return
+	}
+	out := e.flow.pending(p)
+	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
+	purged := out.PurgeFor(it)
+	e.stats.PurgedOutgoing += uint64(len(purged))
+	out.ForceAppend(it) // room guaranteed by canCommit
+}
+
+// ---- t3: receive data ----------------------------------------------------
+
+func (e *Engine) onData(env transport.Envelope) {
+	dm, ok := env.Msg.(DataMsg)
+	if !ok || e.expelled {
+		return
+	}
+	if dm.View != e.cv.ID {
+		e.stats.DroppedStale++
+		return
+	}
+	if dm.Meta.Sender == e.cfg.Self {
+		return // never accept echoes of our own stream
+	}
+	if dm.Meta.Seq <= e.recvMax[dm.Meta.Sender] || e.coveredLocally(dm.Meta) {
+		// Duplicate, or an m with some m' : m ⊑ m' already queued or
+		// delivered (Figure 1, t3). The slot it would have used is free.
+		// Either way the message was received: advance the reception
+		// frontier so stability tracking is not held back by it.
+		if dm.Meta.Seq > e.recvMax[dm.Meta.Sender] {
+			e.recvMax[dm.Meta.Sender] = dm.Meta.Seq
+		}
+		e.stats.DroppedCovered++
+		e.flow.freed(dm.Meta.Sender, e)
+		return
+	}
+	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
+	e.purgeCredits(e.toDeliver.PurgeFor(it))
+	if e.toDeliver.Full() {
+		// Keep the arrival in the one reserved stall slot; the data inbox
+		// stays closed until space frees, so per-sender FIFO holds.
+		e.stalled = &dm
+		return
+	}
+	e.acceptData(it)
+}
+
+func (e *Engine) acceptData(it queue.Item) {
+	e.recvMax[it.Meta.Sender] = it.Meta.Seq
+	e.toDeliver.ForceAppend(it)
+	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
+	e.serveDeliveries()
+	e.retryParked()
+}
+
+// retryStalled re-attempts the stalled arrival once space frees.
+func (e *Engine) retryStalled() {
+	if e.stalled == nil || e.toDeliver.Full() || e.blocked || e.expelled {
+		return
+	}
+	dm := *e.stalled
+	e.stalled = nil
+	if dm.View != e.cv.ID {
+		e.stats.DroppedStale++
+		return
+	}
+	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
+	e.acceptData(it)
+}
+
+// coveredLocally reports whether a message m with m ⊑ m' for some queued
+// or delivered m' exists.
+func (e *Engine) coveredLocally(m obsolete.Msg) bool {
+	pred := func(it queue.Item) bool {
+		return it.Kind == queue.Data && obsolete.CoveredBy(e.rel, m, it.Meta)
+	}
+	return e.toDeliver.Any(pred) || e.delivered.Any(pred)
+}
+
+// purgeCredits releases flow-control credits for entries purged from the
+// delivery queue: their buffer slots are free again (this is the heart of
+// SVS's advantage — a slow receiver's window refills without consuming).
+func (e *Engine) purgeCredits(purged []queue.Item) {
+	for _, it := range purged {
+		if it.Meta.Sender != e.cfg.Self && it.View == uint64(e.cv.ID) {
+			e.flow.freed(it.Meta.Sender, e)
+		}
+	}
+}
+
+// ---- t1: deliver ---------------------------------------------------------
+
+// serveDeliveries hands queue heads to waiting Deliver calls.
+func (e *Engine) serveDeliveries() {
+	for len(e.deliverWaiters) > 0 {
+		w := e.deliverWaiters[0]
+		if w.ctx != nil && w.ctx.Err() != nil {
+			e.deliverWaiters = e.deliverWaiters[1:]
+			continue
+		}
+		it, ok := e.toDeliver.PopHead()
+		if !ok {
+			if e.expelled {
+				e.deliverWaiters = e.deliverWaiters[1:]
+				w.errC <- ErrExpelled
+				continue
+			}
+			return
+		}
+		e.deliverWaiters = e.deliverWaiters[1:]
+		w.delC <- e.deliverItem(it)
+	}
+	// Space freed by pops lets stalled arrivals and parked multicasts in.
+	e.retryStalled()
+	e.retryParked()
+}
+
+func (e *Engine) deliverItem(it queue.Item) Delivery {
+	switch it.Kind {
+	case queue.Control:
+		v := it.Ctl.(View)
+		kind := DeliverView
+		if !v.Includes(e.cfg.Self) {
+			kind = DeliverExpelled
+		}
+		return Delivery{Kind: kind, View: v.ID, NewView: v}
+	default:
+		e.stats.Delivered++
+		if it.View == uint64(e.cv.ID) {
+			// Keep it in the per-view history for pred sets; purge the
+			// history with the same relation so it holds live items only.
+			e.delivered.PurgeFor(it)
+			e.delivered.ForceAppend(it)
+			if it.Meta.Sender != e.cfg.Self {
+				e.flow.freed(it.Meta.Sender, e)
+			}
+		}
+		return Delivery{
+			Kind:    DeliverData,
+			View:    ident.ViewID(it.View),
+			Meta:    it.Meta,
+			Payload: it.Payload,
+		}
+	}
+}
+
+// retryParked re-attempts parked multicasts in FIFO order.
+func (e *Engine) retryParked() {
+	for len(e.multicastQ) > 0 {
+		req := e.multicastQ[0]
+		if req.ctx != nil && req.ctx.Err() != nil {
+			e.multicastQ = e.multicastQ[1:]
+			continue
+		}
+		if err := e.multicastPrecheck(req); err != nil {
+			e.multicastQ = e.multicastQ[1:]
+			req.mcC <- mcResult{err: err}
+			continue
+		}
+		if e.blocked || !e.canCommit(req) {
+			return
+		}
+		e.multicastQ = e.multicastQ[1:]
+		e.commitMulticast(req)
+	}
+}
+
+// ---- t4: trigger view change ---------------------------------------------
+
+func (e *Engine) triggerViewChange(leave ident.PIDs) error {
+	if e.expelled {
+		return ErrExpelled
+	}
+	if e.blocked {
+		return nil // a view change is already in progress
+	}
+	init := InitMsg{View: e.cv.ID, Leave: leave}
+	for _, p := range e.cv.Members {
+		_ = e.cfg.Endpoint.Send(p, transport.Ctl, init)
+	}
+	return nil
+}
+
+// onSuspicion reacts to failure detector events: they re-evaluate the
+// propose condition and, with AutoEvict, trigger eviction view changes.
+func (e *Engine) onSuspicion(ev fd.Event) {
+	if e.expelled {
+		return
+	}
+	if ev.Suspected && e.cfg.AutoEvict && !e.blocked && e.cv.Includes(ev.P) {
+		_ = e.triggerViewChange(ident.NewPIDs(ev.P))
+	}
+	e.checkPropose()
+}
+
+// ---- t5/t6: ctl handling ---------------------------------------------------
+
+func (e *Engine) onCtl(env transport.Envelope) {
+	if e.expelled {
+		return
+	}
+	switch m := env.Msg.(type) {
+	case InitMsg:
+		if e.deferFuture(env, m.View) {
+			return
+		}
+		e.onInit(env.From, m)
+	case PredMsg:
+		if e.deferFuture(env, m.View) {
+			return
+		}
+		e.onPred(env.From, m)
+	case CreditMsg:
+		if m.View == e.cv.ID {
+			e.flow.credit(env.From, m.Credits)
+			e.drainOutgoing(env.From)
+			e.retryParked()
+		}
+	case StableMsg:
+		e.onStable(env.From, m)
+	}
+}
+
+// deferFuture stashes a control message for a view this process has not
+// installed yet. A peer that already installed view v may initiate the
+// change to v+1 before we finish installing v ourselves; dropping its INIT
+// would strand it blocked (it cannot retransmit — it blocked itself at
+// t5). The decide flood guarantees we install v shortly, at which point
+// the stashed messages are replayed.
+func (e *Engine) deferFuture(env transport.Envelope, v ident.ViewID) bool {
+	if v <= e.cv.ID {
+		return false
+	}
+	const maxDeferred = 4096 // backstop against garbage from broken peers
+	if len(e.deferredCtl) < maxDeferred {
+		e.deferredCtl = append(e.deferredCtl, env)
+	}
+	return true
+}
+
+// replayDeferred re-dispatches stashed control traffic after an install.
+func (e *Engine) replayDeferred() {
+	if len(e.deferredCtl) == 0 {
+		return
+	}
+	pending := e.deferredCtl
+	e.deferredCtl = nil
+	for _, env := range pending {
+		e.onCtl(env)
+	}
+}
+
+// onInit is transition t5: block the group, adopt the leave set, compute
+// and disseminate the local pred sequence.
+func (e *Engine) onInit(from ident.PID, m InitMsg) {
+	if m.View != e.cv.ID || e.blocked {
+		return
+	}
+	if !e.cv.Includes(from) {
+		return
+	}
+	if from != e.cfg.Self {
+		// Forward so every correct process initiates even if the
+		// initiator crashed mid-dissemination.
+		for _, p := range e.cv.Members {
+			_ = e.cfg.Endpoint.Send(p, transport.Ctl, m)
+		}
+	}
+	e.blocked = true
+	e.stalled = nil // unaccepted arrival: covered by its sender's pred set
+	e.leave = ident.NewPIDs(m.Leave...).Intersect(e.cv.Members)
+
+	pred := PredMsg{View: e.cv.ID, Msgs: e.localPred()}
+	for _, p := range e.cv.Members {
+		_ = e.cfg.Endpoint.Send(p, transport.Ctl, pred)
+	}
+
+	// Watch for the decision even if we never reach the propose condition
+	// ourselves — the decide flood must still install the view here.
+	nextID := e.cv.ID + 1
+	go func() {
+		raw, err := e.cons.Await(e.rootCtx, viewInstance(nextID))
+		e.pushDecision(nextID, raw, err)
+	}()
+	e.checkPropose()
+}
+
+// localPred is the sequence of data messages this process has accepted to
+// deliver in the current view: delivered history then still-queued, FIFO.
+// Messages known stable (received by every member) are excluded: the SVS
+// obligations for them hold everywhere without flushing.
+func (e *Engine) localPred() []DataMsg {
+	var out []DataMsg
+	collect := func(it queue.Item) bool {
+		if it.Kind == queue.Data && it.View == uint64(e.cv.ID) &&
+			!e.isStable(it.Meta.Sender, it.Meta.Seq) {
+			out = append(out, DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload})
+		}
+		return true
+	}
+	e.delivered.Each(collect)
+	e.toDeliver.Each(collect)
+	return out
+}
+
+// onPred is transition t6: accumulate pred sequences.
+func (e *Engine) onPred(from ident.PID, m PredMsg) {
+	if m.View != e.cv.ID || !e.cv.Includes(from) {
+		return
+	}
+	for _, dm := range m.Msgs {
+		e.globalPred[dm.Meta.ID()] = dm
+	}
+	e.predReceived = e.predReceived.Add(from)
+	e.checkPropose()
+}
+
+// ---- t7: propose and install ----------------------------------------------
+
+// checkPropose fires the consensus proposal once every unsuspected member's
+// pred set has arrived and they form a majority.
+func (e *Engine) checkPropose() {
+	if !e.blocked || e.proposed || e.expelled {
+		return
+	}
+	for _, p := range e.cv.Members {
+		if !e.cfg.Detector.Suspected(p) && !e.predReceived.Contains(p) {
+			return
+		}
+	}
+	if 2*len(e.predReceived) <= len(e.cv.Members) {
+		return
+	}
+	e.proposed = true
+
+	next := View{ID: e.cv.ID + 1, Members: e.predReceived.Without(e.leave)}
+	val := consensusValue{Next: next, Pred: sortedPred(e.globalPred)}
+	raw, err := encodeValue(val)
+	if err != nil {
+		// Unreachable with gob-safe types; surface as a failed decision.
+		e.pushDecision(next.ID, nil, err)
+		return
+	}
+	members := e.cv.Members.Clone()
+	go func() {
+		dec, err := e.cons.Propose(e.rootCtx, viewInstance(next.ID), members, raw)
+		e.pushDecision(next.ID, dec, err)
+	}()
+}
+
+// sortedPred flattens the accumulated global pred set deterministically:
+// by sender, then sequence number — preserving each sender's FIFO order.
+func sortedPred(m map[obsolete.MsgID]DataMsg) []DataMsg {
+	out := make([]DataMsg, 0, len(m))
+	for _, dm := range m {
+		out = append(out, dm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Meta.Sender != out[j].Meta.Sender {
+			return out[i].Meta.Sender < out[j].Meta.Sender
+		}
+		return out[i].Meta.Seq < out[j].Meta.Seq
+	})
+	return out
+}
+
+// pushDecision forwards a consensus outcome into the loop.
+func (e *Engine) pushDecision(id ident.ViewID, raw []byte, err error) {
+	var dec decision
+	dec.forView = id
+	if err != nil {
+		dec.err = err
+	} else if raw != nil {
+		val, derr := decodeValue(raw)
+		if derr != nil {
+			dec.err = derr
+		} else {
+			dec.val = val
+		}
+	}
+	select {
+	case e.decC <- dec:
+	case <-e.stopC:
+	}
+}
+
+// onDecision installs the agreed view (the tail of t7).
+func (e *Engine) onDecision(dec decision) {
+	if dec.err != nil {
+		return // engine stopping, or a decode failure already surfaced
+	}
+	if !e.blocked || dec.forView != e.cv.ID+1 {
+		return // duplicate (Await and Propose both report)
+	}
+	e.install(dec.val)
+}
+
+func (e *Engine) install(val consensusValue) {
+	e.stats.ViewsInstalled++
+	e.stats.LastFlushLen = len(val.Pred)
+
+	// Adopt flush messages we have not seen. Messages at or below recvMax
+	// were genuinely received before (reception is FIFO per sender), so
+	// anything missing locally was purged under a justified cover chain;
+	// re-adding it would break per-sender FIFO delivery.
+	added := 0
+	for _, dm := range val.Pred {
+		if dm.Meta.Seq <= e.recvMax[dm.Meta.Sender] {
+			continue
+		}
+		if dm.Meta.Sender == e.cfg.Self && dm.Meta.Seq <= e.lastSent {
+			continue
+		}
+		if e.coveredLocally(dm.Meta) {
+			continue
+		}
+		e.recvMax[dm.Meta.Sender] = dm.Meta.Seq
+		e.toDeliver.ForceAppend(queue.Item{
+			Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload,
+		})
+		added++
+	}
+	e.stats.FlushAdded += uint64(added)
+
+	// The view marker follows the flush in the delivery queue.
+	e.toDeliver.ForceAppend(queue.Item{Kind: queue.Control, View: uint64(val.Next.ID), Ctl: val.Next.Clone()})
+	e.toDeliver.Purge()
+	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
+
+	if !val.Next.Includes(e.cfg.Self) {
+		e.expelled = true
+		for _, m := range e.multicastQ {
+			m.mcC <- mcResult{err: ErrExpelled}
+		}
+		e.multicastQ = nil
+	}
+
+	// Reset per-view state.
+	e.delivered = queue.New(e.rel, 0)
+	e.cv = val.Next.Clone()
+	e.blocked = false
+	e.proposed = false
+	e.leave = nil
+	e.globalPred = make(map[obsolete.MsgID]DataMsg)
+	e.predReceived = nil
+	e.flow.reset(e.cv.Members)
+	e.resetStabilityForView()
+
+	if pd, ok := e.cfg.Detector.(interface{ SetPeers(ident.PIDs) }); ok {
+		pd.SetPeers(e.cv.Members)
+	}
+
+	e.serveDeliveries()
+	e.retryParked()
+	e.replayDeferred()
+}

@@ -1,0 +1,90 @@
+// Package des is a minimal deterministic discrete-event simulation kernel:
+// a virtual clock and a time-ordered event heap. The throughput study of
+// §5.3 runs on it ("In evaluating the impact of purging we have used a
+// high-level discrete event simulation").
+//
+// Events scheduled for the same instant fire in scheduling order, which
+// keeps runs reproducible.
+package des
+
+import "container/heap"
+
+// Sim is a simulation instance. The zero value is ready to use.
+type Sim struct {
+	now  float64
+	seq  uint64
+	pq   eventHeap
+	halt bool
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	do  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules f to run at absolute time t. Scheduling in the past panics:
+// it is always a modelling bug.
+func (s *Sim) At(t float64, f func()) {
+	if t < s.now {
+		panic("des: scheduling into the past")
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: t, seq: s.seq, do: f})
+}
+
+// After schedules f to run d seconds from now.
+func (s *Sim) After(d float64, f func()) {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	s.At(s.now+d, f)
+}
+
+// Halt stops the run after the current event returns.
+func (s *Sim) Halt() { s.halt = true }
+
+// Run executes events until the queue drains or Halt is called. It
+// returns the final virtual time.
+func (s *Sim) Run() float64 {
+	s.halt = false
+	for len(s.pq) > 0 && !s.halt {
+		ev := heap.Pop(&s.pq).(event)
+		s.now = ev.at
+		ev.do()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps ≤ t, then sets the clock to t.
+func (s *Sim) RunUntil(t float64) float64 {
+	s.halt = false
+	for len(s.pq) > 0 && !s.halt && s.pq[0].at <= t {
+		ev := heap.Pop(&s.pq).(event)
+		s.now = ev.at
+		ev.do()
+	}
+	if !s.halt && s.now < t {
+		s.now = t
+	}
+	return s.now
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.pq) }

@@ -1,0 +1,104 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := &Sim{}
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 3 {
+		t.Fatalf("end = %v", end)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := &Sim{}
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant order not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	s := &Sim{}
+	var at1, at2 float64
+	s.After(1, func() {
+		at1 = s.Now()
+		s.After(0.5, func() { at2 = s.Now() })
+	})
+	s.Run()
+	if at1 != 1 || at2 != 1.5 {
+		t.Fatalf("times: %v %v", at1, at2)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := &Sim{}
+	ran := 0
+	s.At(1, func() { ran++; s.Halt() })
+	s.At(2, func() { ran++ })
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d after Halt", ran)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := &Sim{}
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	now := s.RunUntil(2.5)
+	if now != 2.5 {
+		t.Fatalf("now = %v", now)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	s.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining events lost: %v", got)
+	}
+}
+
+func TestSchedulingIntoThePastPanics(t *testing.T) {
+	s := &Sim{}
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("After(negative) did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}

@@ -1,0 +1,167 @@
+// Package fd provides the unreliable failure detector of the paper's
+// system model (§3.1): an oracle that maintains a per-process suspicion
+// set, in the style of Chandra & Toueg. The detector may be wrong
+// (suspicions can be revised); the protocol and the consensus module only
+// rely on it for liveness, never for safety.
+//
+// Two implementations are provided: Heartbeat, a timeout-based detector
+// running over the transport, and Manual, a deterministic detector driven
+// explicitly by tests.
+package fd
+
+import (
+	"sync"
+
+	"repro/internal/ident"
+)
+
+// Event reports a suspicion change.
+type Event struct {
+	P ident.PID
+	// Suspected is true when p became suspected, false when the suspicion
+	// was revised.
+	Suspected bool
+}
+
+// Detector is the failure detector oracle.
+//
+// Events returns a channel of suspicion changes intended for a single
+// consumer (the protocol engine); Suspected may be polled concurrently by
+// anyone (the consensus module does).
+type Detector interface {
+	Suspected(p ident.PID) bool
+	Suspects() ident.PIDs
+	Events() <-chan Event
+	Stop()
+}
+
+// notifier is an unbounded event fan-in: emits never block, the consumer
+// drains a channel.
+type notifier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []Event
+	closed bool
+	out    chan Event
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newNotifier() *notifier {
+	n := &notifier{
+		out:  make(chan Event),
+		done: make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	n.wg.Add(1)
+	go n.pump()
+	return n
+}
+
+func (n *notifier) emit(e Event) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.events = append(n.events, e)
+	n.cond.Signal()
+}
+
+func (n *notifier) close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.done)
+	n.cond.Signal()
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *notifier) pump() {
+	defer n.wg.Done()
+	defer close(n.out)
+	for {
+		n.mu.Lock()
+		for len(n.events) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		e := n.events[0]
+		copy(n.events, n.events[1:])
+		n.events = n.events[:len(n.events)-1]
+		n.mu.Unlock()
+
+		select {
+		case n.out <- e:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Manual is a deterministic detector driven by test code.
+type Manual struct {
+	mu   sync.Mutex
+	susp map[ident.PID]bool
+	n    *notifier
+}
+
+var _ Detector = (*Manual)(nil)
+
+// NewManual returns a detector suspecting nobody.
+func NewManual() *Manual {
+	return &Manual{susp: make(map[ident.PID]bool), n: newNotifier()}
+}
+
+// Suspect marks p as suspected.
+func (m *Manual) Suspect(p ident.PID) {
+	m.mu.Lock()
+	changed := !m.susp[p]
+	m.susp[p] = true
+	m.mu.Unlock()
+	if changed {
+		m.n.emit(Event{P: p, Suspected: true})
+	}
+}
+
+// Restore revises the suspicion of p.
+func (m *Manual) Restore(p ident.PID) {
+	m.mu.Lock()
+	changed := m.susp[p]
+	delete(m.susp, p)
+	m.mu.Unlock()
+	if changed {
+		m.n.emit(Event{P: p, Suspected: false})
+	}
+}
+
+// Suspected implements Detector.
+func (m *Manual) Suspected(p ident.PID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.susp[p]
+}
+
+// Suspects implements Detector.
+func (m *Manual) Suspects() ident.PIDs {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := make([]ident.PID, 0, len(m.susp))
+	for p := range m.susp {
+		ps = append(ps, p)
+	}
+	return ident.NewPIDs(ps...)
+}
+
+// Events implements Detector.
+func (m *Manual) Events() <-chan Event { return m.n.out }
+
+// Stop implements Detector.
+func (m *Manual) Stop() { m.n.close() }

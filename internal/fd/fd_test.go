@@ -1,0 +1,156 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+func waitSuspected(t *testing.T, d Detector, p ident.PID, want bool) {
+	t.Helper()
+	deadline := time.After(3 * time.Second)
+	for d.Suspected(p) != want {
+		select {
+		case <-deadline:
+			t.Fatalf("Suspected(%s) never became %v", p, want)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func waitEvent(t *testing.T, ch <-chan Event) Event {
+	t.Helper()
+	select {
+	case e, ok := <-ch:
+		if !ok {
+			t.Fatal("event channel closed")
+		}
+		return e
+	case <-time.After(3 * time.Second):
+		t.Fatal("timed out waiting for fd event")
+		return Event{}
+	}
+}
+
+func TestManualSuspectRestore(t *testing.T) {
+	m := NewManual()
+	defer m.Stop()
+
+	if m.Suspected("p") {
+		t.Fatal("fresh detector suspects p")
+	}
+	m.Suspect("p")
+	if !m.Suspected("p") {
+		t.Fatal("Suspect had no effect")
+	}
+	if ev := waitEvent(t, m.Events()); ev.P != "p" || !ev.Suspected {
+		t.Fatalf("event %+v", ev)
+	}
+	// Duplicate suspicion emits nothing; restore emits.
+	m.Suspect("p")
+	m.Restore("p")
+	if m.Suspected("p") {
+		t.Fatal("Restore had no effect")
+	}
+	if ev := waitEvent(t, m.Events()); ev.P != "p" || ev.Suspected {
+		t.Fatalf("event %+v", ev)
+	}
+	if got := m.Suspects(); len(got) != 0 {
+		t.Fatalf("Suspects = %v", got)
+	}
+}
+
+func TestManualSuspects(t *testing.T) {
+	m := NewManual()
+	defer m.Stop()
+	m.Suspect("b")
+	m.Suspect("a")
+	got := m.Suspects()
+	want := ident.NewPIDs("a", "b")
+	if !got.Equal(want) {
+		t.Fatalf("Suspects = %v, want %v", got, want)
+	}
+}
+
+func TestHeartbeatSuspectsSilentPeer(t *testing.T) {
+	net := transport.NewMemNetwork()
+	epA, _ := net.Endpoint("a")
+	epB, _ := net.Endpoint("b")
+	defer epA.Close()
+	defer epB.Close()
+
+	peers := ident.NewPIDs("a", "b")
+	opts := HeartbeatOptions{Interval: 5 * time.Millisecond, Timeout: 25 * time.Millisecond}
+	ha := NewHeartbeat(epA, peers, opts)
+	hb := NewHeartbeat(epB, peers, opts)
+	ha.Start()
+	hb.Start()
+	defer ha.Stop()
+	defer hb.Stop()
+
+	// Both alive: give several intervals, nobody suspected.
+	time.Sleep(60 * time.Millisecond)
+	if ha.Suspected("b") || hb.Suspected("a") {
+		t.Fatal("live peers suspected")
+	}
+
+	// Silence b in both directions: a must suspect b. A beat may still be
+	// in flight when the link is cut (briefly revising the suspicion), so
+	// poll until the suspicion sticks.
+	net.CutBoth("a", "b")
+	ev := waitEvent(t, ha.Events())
+	if ev.P != "b" || !ev.Suspected {
+		t.Fatalf("event %+v", ev)
+	}
+	waitSuspected(t, ha, "b", true)
+
+	// Heal: suspicion must be revised.
+	net.Heal("a", "b")
+	net.Heal("b", "a")
+	waitSuspected(t, ha, "b", false)
+}
+
+func TestHeartbeatSetPeers(t *testing.T) {
+	net := transport.NewMemNetwork()
+	epA, _ := net.Endpoint("a")
+	defer epA.Close()
+
+	opts := HeartbeatOptions{Interval: 5 * time.Millisecond, Timeout: 20 * time.Millisecond}
+	ha := NewHeartbeat(epA, ident.NewPIDs("a", "b", "c"), opts)
+	ha.Start()
+	defer ha.Stop()
+
+	// b and c never beat: both eventually suspected.
+	deadline := time.After(3 * time.Second)
+	for {
+		if ha.Suspected("b") && ha.Suspected("c") {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("peers never suspected")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// Dropping c from the view forgets its suspicion.
+	ha.SetPeers(ident.NewPIDs("a", "b"))
+	if ha.Suspected("c") {
+		t.Fatal("removed peer still suspected")
+	}
+	if !ha.Suspected("b") {
+		t.Fatal("kept peer lost suspicion state")
+	}
+}
+
+func TestHeartbeatStopIsIdempotent(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ep, _ := net.Endpoint("a")
+	defer ep.Close()
+	h := NewHeartbeat(ep, ident.NewPIDs("a"), HeartbeatOptions{})
+	h.Start()
+	h.Stop()
+	h.Stop()
+}

@@ -1,0 +1,205 @@
+package fd
+
+import (
+	"encoding/gob"
+	"sync"
+	"time"
+
+	"repro/internal/ident"
+	"repro/internal/transport"
+)
+
+// Beat is the heartbeat wire message.
+type Beat struct{}
+
+func init() { gob.Register(Beat{}) }
+
+// HeartbeatOptions configures the heartbeat detector.
+type HeartbeatOptions struct {
+	// Interval between heartbeats. Default 20ms.
+	Interval time.Duration
+	// Timeout after which a silent peer is suspected. Default 5×Interval.
+	Timeout time.Duration
+}
+
+func (o *HeartbeatOptions) defaults() {
+	if o.Interval <= 0 {
+		o.Interval = 20 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * o.Interval
+	}
+}
+
+// Heartbeat is a timeout-based eventually-accurate failure detector: each
+// process periodically beats to its peers; a peer silent for longer than
+// the timeout is suspected, and the suspicion is revised as soon as a beat
+// arrives again (◇S style: finitely many mistakes once timing stabilises).
+type Heartbeat struct {
+	ep   transport.Endpoint
+	opts HeartbeatOptions
+
+	mu       sync.Mutex
+	peers    ident.PIDs
+	lastSeen map[ident.PID]time.Time
+	susp     map[ident.PID]bool
+
+	n    *notifier
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+var _ Detector = (*Heartbeat)(nil)
+
+// NewHeartbeat returns a detector monitoring peers through ep. Call Start
+// to begin beating.
+func NewHeartbeat(ep transport.Endpoint, peers ident.PIDs, opts HeartbeatOptions) *Heartbeat {
+	opts.defaults()
+	h := &Heartbeat{
+		ep:       ep,
+		opts:     opts,
+		peers:    peers.Clone().Remove(ep.Self()),
+		lastSeen: make(map[ident.PID]time.Time),
+		susp:     make(map[ident.PID]bool),
+		n:        newNotifier(),
+		done:     make(chan struct{}),
+	}
+	return h
+}
+
+// Start launches the beat and monitor goroutines.
+func (h *Heartbeat) Start() {
+	now := time.Now()
+	h.mu.Lock()
+	for _, p := range h.peers {
+		h.lastSeen[p] = now
+	}
+	h.mu.Unlock()
+	h.wg.Add(2)
+	go h.beatLoop()
+	go h.recvLoop()
+}
+
+// SetPeers replaces the monitored set (e.g. after a view change). Newly
+// added peers start unsuspected with a fresh grace period.
+func (h *Heartbeat) SetPeers(peers ident.PIDs) {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	next := peers.Clone().Remove(h.ep.Self())
+	for _, p := range next {
+		if !h.peers.Contains(p) {
+			h.lastSeen[p] = now
+		}
+	}
+	for _, p := range h.peers {
+		if !next.Contains(p) {
+			delete(h.lastSeen, p)
+			delete(h.susp, p)
+		}
+	}
+	h.peers = next
+}
+
+func (h *Heartbeat) beatLoop() {
+	defer h.wg.Done()
+	ticker := time.NewTicker(h.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-ticker.C:
+			h.mu.Lock()
+			peers := h.peers.Clone()
+			h.mu.Unlock()
+			for _, p := range peers {
+				// Best effort: a failed send is just a missing beat.
+				_ = h.ep.Send(p, transport.FailureDetector, Beat{})
+			}
+			h.check(time.Now())
+		}
+	}
+}
+
+func (h *Heartbeat) recvLoop() {
+	defer h.wg.Done()
+	inbox := h.ep.Inbox(transport.FailureDetector)
+	for {
+		select {
+		case <-h.done:
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			h.alive(env.From)
+		}
+	}
+}
+
+func (h *Heartbeat) alive(p ident.PID) {
+	h.mu.Lock()
+	if !h.peers.Contains(p) {
+		h.mu.Unlock()
+		return
+	}
+	h.lastSeen[p] = time.Now()
+	revised := h.susp[p]
+	delete(h.susp, p)
+	h.mu.Unlock()
+	if revised {
+		h.n.emit(Event{P: p, Suspected: false})
+	}
+}
+
+func (h *Heartbeat) check(now time.Time) {
+	var newly []ident.PID
+	h.mu.Lock()
+	for _, p := range h.peers {
+		if h.susp[p] {
+			continue
+		}
+		if now.Sub(h.lastSeen[p]) > h.opts.Timeout {
+			h.susp[p] = true
+			newly = append(newly, p)
+		}
+	}
+	h.mu.Unlock()
+	for _, p := range newly {
+		h.n.emit(Event{P: p, Suspected: true})
+	}
+}
+
+// Suspected implements Detector.
+func (h *Heartbeat) Suspected(p ident.PID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.susp[p]
+}
+
+// Suspects implements Detector.
+func (h *Heartbeat) Suspects() ident.PIDs {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ps := make([]ident.PID, 0, len(h.susp))
+	for p, s := range h.susp {
+		if s {
+			ps = append(ps, p)
+		}
+	}
+	return ident.NewPIDs(ps...)
+}
+
+// Events implements Detector.
+func (h *Heartbeat) Events() <-chan Event { return h.n.out }
+
+// Stop implements Detector.
+func (h *Heartbeat) Stop() {
+	h.once.Do(func() {
+		close(h.done)
+		h.wg.Wait()
+		h.n.close()
+	})
+}

@@ -1,0 +1,181 @@
+// Package gamestate models the replicated state of a multi-player game
+// server in the style the paper extracts from Quake (§5.2): "the state of
+// the game is modeled as a set of items. An item is any object in the game
+// with which players can interact. Each item is represented by a data
+// structure that stores its current position and velocity in the 3D space.
+// The same data structure may also hold additional type specific
+// attributes, such as the players remaining strength."
+//
+// The package provides the item store, a compact binary encoding of state
+// updates suitable for multicast payloads, and a deterministic digest used
+// by the replication layer and the tests to compare replica states.
+package gamestate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Op is the kind of a state update.
+type Op uint8
+
+const (
+	// OpCreate introduces a new item (reliable: never purged).
+	OpCreate Op = iota + 1
+	// OpUpdate overwrites an item's mutable fields (purgeable: a later
+	// update of the same item obsoletes it).
+	OpUpdate
+	// OpDestroy removes an item (reliable: never purged).
+	OpDestroy
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpUpdate:
+		return "update"
+	case OpDestroy:
+		return "destroy"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Vec3 is a position or velocity in the game's 3D space.
+type Vec3 [3]float32
+
+// Item is one interactive object.
+type Item struct {
+	ID       uint32
+	Pos      Vec3
+	Vel      Vec3
+	Strength int32
+}
+
+// Update is one state mutation, the unit disseminated to replicas.
+type Update struct {
+	Op   Op
+	Item uint32
+	Pos  Vec3
+	Vel  Vec3
+	// Strength is the item's type-specific attribute after the update.
+	Strength int32
+}
+
+// updateWireSize is the encoded size: op(1) + item(4) + 6 floats + strength.
+const updateWireSize = 1 + 4 + 6*4 + 4
+
+// Marshal encodes u into a compact fixed-size payload.
+func (u Update) Marshal() []byte {
+	p := make([]byte, updateWireSize)
+	p[0] = byte(u.Op)
+	binary.LittleEndian.PutUint32(p[1:], u.Item)
+	off := 5
+	for _, f := range []float32{u.Pos[0], u.Pos[1], u.Pos[2], u.Vel[0], u.Vel[1], u.Vel[2]} {
+		binary.LittleEndian.PutUint32(p[off:], math.Float32bits(f))
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(p[off:], uint32(u.Strength))
+	return p
+}
+
+// ParseUpdate decodes a payload produced by Marshal.
+func ParseUpdate(p []byte) (Update, error) {
+	if len(p) != updateWireSize {
+		return Update{}, fmt.Errorf("gamestate: bad update size %d", len(p))
+	}
+	var u Update
+	u.Op = Op(p[0])
+	if u.Op < OpCreate || u.Op > OpDestroy {
+		return Update{}, fmt.Errorf("gamestate: bad op %d", p[0])
+	}
+	u.Item = binary.LittleEndian.Uint32(p[1:])
+	off := 5
+	fs := make([]float32, 6)
+	for i := range fs {
+		fs[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+	}
+	u.Pos = Vec3{fs[0], fs[1], fs[2]}
+	u.Vel = Vec3{fs[3], fs[4], fs[5]}
+	u.Strength = int32(binary.LittleEndian.Uint32(p[off:]))
+	return u, nil
+}
+
+// State is an item store. It is not safe for concurrent use; replicas own
+// their state from a single goroutine.
+type State struct {
+	items map[uint32]Item
+}
+
+// New returns an empty state.
+func New() *State {
+	return &State{items: make(map[uint32]Item)}
+}
+
+// Len returns the number of live items.
+func (s *State) Len() int { return len(s.items) }
+
+// Get returns the item with the given id.
+func (s *State) Get(id uint32) (Item, bool) {
+	it, ok := s.items[id]
+	return it, ok
+}
+
+// Items returns the live items sorted by id.
+func (s *State) Items() []Item {
+	out := make([]Item, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Apply executes u. Creating an existing item overwrites it; updating a
+// missing item creates it (a purged create cannot happen — creates are
+// reliable — but a replica that purged earlier updates must still converge);
+// destroying a missing item is a no-op. Apply never fails on semantically
+// legal replay, which is what SVS delivery can produce at a slow replica.
+func (s *State) Apply(u Update) {
+	switch u.Op {
+	case OpCreate, OpUpdate:
+		s.items[u.Item] = Item{
+			ID: u.Item, Pos: u.Pos, Vel: u.Vel, Strength: u.Strength,
+		}
+	case OpDestroy:
+		delete(s.items, u.Item)
+	}
+}
+
+// Digest returns a deterministic hash of the full state: equal digests ⇔
+// equal item sets (up to hash collisions). Replicas compare digests after
+// view installation to confirm the consistency SVS guarantees.
+func (s *State) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, it := range s.Items() {
+		binary.LittleEndian.PutUint32(buf[:4], it.ID)
+		h.Write(buf[:4])
+		for _, f := range []float32{it.Pos[0], it.Pos[1], it.Pos[2], it.Vel[0], it.Vel[1], it.Vel[2]} {
+			binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(f))
+			h.Write(buf[:4])
+		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(it.Strength))
+		h.Write(buf[:4])
+	}
+	return h.Sum64()
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	out := New()
+	for id, it := range s.items {
+		out.items[id] = it
+	}
+	return out
+}

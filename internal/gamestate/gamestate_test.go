@@ -1,0 +1,163 @@
+package gamestate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyLifecycle(t *testing.T) {
+	s := New()
+	s.Apply(Update{Op: OpCreate, Item: 1, Pos: Vec3{1, 2, 3}, Strength: 100})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	it, ok := s.Get(1)
+	if !ok || it.Pos != (Vec3{1, 2, 3}) || it.Strength != 100 {
+		t.Fatalf("Get = %+v, %v", it, ok)
+	}
+	s.Apply(Update{Op: OpUpdate, Item: 1, Pos: Vec3{4, 5, 6}, Vel: Vec3{1, 0, 0}, Strength: 90})
+	it, _ = s.Get(1)
+	if it.Pos != (Vec3{4, 5, 6}) || it.Vel != (Vec3{1, 0, 0}) || it.Strength != 90 {
+		t.Fatalf("after update: %+v", it)
+	}
+	s.Apply(Update{Op: OpDestroy, Item: 1})
+	if s.Len() != 0 {
+		t.Fatal("destroy did not remove item")
+	}
+	// Destroy of a missing item is a no-op.
+	s.Apply(Update{Op: OpDestroy, Item: 42})
+}
+
+func TestUpdateOfMissingItemCreatesIt(t *testing.T) {
+	// A slow replica may see update(i) without ever applying older state;
+	// Apply must converge rather than fail.
+	s := New()
+	s.Apply(Update{Op: OpUpdate, Item: 7, Pos: Vec3{1, 1, 1}})
+	if _, ok := s.Get(7); !ok {
+		t.Fatal("update of missing item should create it")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(item uint32, px, py, pz, vx, vy, vz float32, str int32, opSel uint8) bool {
+		u := Update{
+			Op:       Op(opSel%3) + OpCreate,
+			Item:     item,
+			Pos:      Vec3{px, py, pz},
+			Vel:      Vec3{vx, vy, vz},
+			Strength: str,
+		}
+		got, err := ParseUpdate(u.Marshal())
+		if err != nil {
+			return false
+		}
+		return got == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseUpdateRejectsBadInput(t *testing.T) {
+	if _, err := ParseUpdate(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := ParseUpdate(make([]byte, 10)); err == nil {
+		t.Fatal("short accepted")
+	}
+	bad := Update{Op: OpCreate, Item: 1}.Marshal()
+	bad[0] = 99
+	if _, err := ParseUpdate(bad); err == nil {
+		t.Fatal("bad op accepted")
+	}
+}
+
+func TestDigestDetectsDifferences(t *testing.T) {
+	a := New()
+	b := New()
+	if a.Digest() != b.Digest() {
+		t.Fatal("empty states differ")
+	}
+	a.Apply(Update{Op: OpCreate, Item: 1, Pos: Vec3{1, 0, 0}})
+	if a.Digest() == b.Digest() {
+		t.Fatal("different states share digest")
+	}
+	b.Apply(Update{Op: OpCreate, Item: 1, Pos: Vec3{1, 0, 0}})
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal states differ")
+	}
+	b.Apply(Update{Op: OpUpdate, Item: 1, Pos: Vec3{2, 0, 0}})
+	if a.Digest() == b.Digest() {
+		t.Fatal("update not reflected in digest")
+	}
+}
+
+func TestDigestOrderIndependence(t *testing.T) {
+	a := New()
+	b := New()
+	// Same final state reached in different insertion orders.
+	for i := uint32(1); i <= 20; i++ {
+		a.Apply(Update{Op: OpCreate, Item: i, Strength: int32(i)})
+	}
+	for i := uint32(20); i >= 1; i-- {
+		b.Apply(Update{Op: OpCreate, Item: i, Strength: int32(i)})
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest depends on insertion order")
+	}
+}
+
+func TestConvergenceUnderObsoleteOmission(t *testing.T) {
+	// The SVS argument: a replica that misses obsolete updates but applies
+	// the final update of each item converges to the full-history state.
+	full := New()
+	sparse := New()
+	updates := []Update{
+		{Op: OpCreate, Item: 1, Pos: Vec3{0, 0, 0}, Strength: 100},
+		{Op: OpUpdate, Item: 1, Pos: Vec3{1, 0, 0}, Strength: 90}, // obsolete
+		{Op: OpUpdate, Item: 1, Pos: Vec3{2, 0, 0}, Strength: 80}, // obsolete
+		{Op: OpUpdate, Item: 1, Pos: Vec3{3, 0, 0}, Strength: 70}, // final
+		{Op: OpCreate, Item: 2, Pos: Vec3{9, 9, 9}, Strength: 50},
+	}
+	for _, u := range updates {
+		full.Apply(u)
+	}
+	for _, i := range []int{0, 3, 4} { // sparse replica skips the obsolete ones
+		sparse.Apply(updates[i])
+	}
+	if full.Digest() != sparse.Digest() {
+		t.Fatalf("states diverged: %d vs %d", full.Digest(), sparse.Digest())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New()
+	a.Apply(Update{Op: OpCreate, Item: 1})
+	c := a.Clone()
+	c.Apply(Update{Op: OpDestroy, Item: 1})
+	if a.Len() != 1 || c.Len() != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestItemsSorted(t *testing.T) {
+	s := New()
+	for _, id := range []uint32{5, 1, 9, 3} {
+		s.Apply(Update{Op: OpCreate, Item: id})
+	}
+	items := s.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].ID >= items[i].ID {
+			t.Fatalf("Items not sorted: %v", items)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpCreate.String() != "create" || OpUpdate.String() != "update" || OpDestroy.String() != "destroy" {
+		t.Fatal("Op.String wrong")
+	}
+	if Op(77).String() == "" {
+		t.Fatal("unknown op should still render")
+	}
+}

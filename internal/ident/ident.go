@@ -1,0 +1,121 @@
+// Package ident defines the identifier types shared by every layer of the
+// SVS stack: process identifiers, view identifiers and per-sender message
+// sequence numbers.
+//
+// Identifiers are deliberately plain (strings and integers) so that they can
+// be printed, compared, sorted and gob-encoded without ceremony.
+package ident
+
+import "sort"
+
+// PID identifies a process (a group member). PIDs are opaque strings chosen
+// by the deployment ("p1", "replica-3", "10.0.0.7:9000", ...). The protocol
+// only requires that PIDs are unique within a group and totally ordered;
+// the natural string order is used wherever a deterministic order is needed
+// (e.g. the rotating consensus coordinator).
+type PID string
+
+// ViewID numbers the views installed by a group. View identifiers grow
+// monotonically; view i+1 is always the successor of view i.
+type ViewID uint64
+
+// Seq is a per-sender message sequence number. The first message multicast
+// by a sender carries Seq 1; Seq 0 is reserved to mean "no message".
+type Seq uint64
+
+// PIDs is a set of process identifiers kept sorted for deterministic
+// iteration. The zero value is an empty set.
+type PIDs []PID
+
+// NewPIDs returns a sorted, deduplicated set built from ps.
+func NewPIDs(ps ...PID) PIDs {
+	out := make(PIDs, 0, len(ps))
+	seen := make(map[PID]struct{}, len(ps))
+	for _, p := range ps {
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether p is a member of s.
+func (s PIDs) Contains(p PID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	return i < len(s) && s[i] == p
+}
+
+// Equal reports whether s and t contain exactly the same members.
+func (s PIDs) Equal(t PIDs) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s PIDs) Clone() PIDs {
+	if s == nil {
+		return nil
+	}
+	out := make(PIDs, len(s))
+	copy(out, s)
+	return out
+}
+
+// Without returns the members of s that are not in t.
+func (s PIDs) Without(t PIDs) PIDs {
+	out := make(PIDs, 0, len(s))
+	for _, p := range s {
+		if !t.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Intersect returns the members present in both s and t.
+func (s PIDs) Intersect(t PIDs) PIDs {
+	out := make(PIDs, 0, len(s))
+	for _, p := range s {
+		if t.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Union returns the sorted union of s and t.
+func (s PIDs) Union(t PIDs) PIDs {
+	all := make([]PID, 0, len(s)+len(t))
+	all = append(all, s...)
+	all = append(all, t...)
+	return NewPIDs(all...)
+}
+
+// Add returns s with p inserted (no-op if already present).
+func (s PIDs) Add(p PID) PIDs {
+	if s.Contains(p) {
+		return s
+	}
+	return NewPIDs(append(s.Clone(), p)...)
+}
+
+// Remove returns s with p removed (no-op if absent).
+func (s PIDs) Remove(p PID) PIDs {
+	out := make(PIDs, 0, len(s))
+	for _, q := range s {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}

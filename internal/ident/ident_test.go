@@ -1,0 +1,139 @@
+package ident
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPIDsSortsAndDedups(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []PID
+		want PIDs
+	}{
+		{"empty", nil, PIDs{}},
+		{"single", []PID{"a"}, PIDs{"a"}},
+		{"sorted", []PID{"a", "b", "c"}, PIDs{"a", "b", "c"}},
+		{"unsorted", []PID{"c", "a", "b"}, PIDs{"a", "b", "c"}},
+		{"dups", []PID{"b", "a", "b", "a"}, PIDs{"a", "b"}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewPIDs(tc.in...)
+			if !got.Equal(tc.want) {
+				t.Fatalf("NewPIDs(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPIDsContains(t *testing.T) {
+	s := NewPIDs("a", "c", "e")
+	for _, p := range []PID{"a", "c", "e"} {
+		if !s.Contains(p) {
+			t.Errorf("Contains(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []PID{"", "b", "d", "f"} {
+		if s.Contains(p) {
+			t.Errorf("Contains(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestPIDsSetOps(t *testing.T) {
+	s := NewPIDs("a", "b", "c")
+	u := NewPIDs("b", "c", "d")
+
+	if got, want := s.Without(u), NewPIDs("a"); !got.Equal(want) {
+		t.Errorf("Without = %v, want %v", got, want)
+	}
+	if got, want := s.Intersect(u), NewPIDs("b", "c"); !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := s.Union(u), NewPIDs("a", "b", "c", "d"); !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := s.Add("z"), NewPIDs("a", "b", "c", "z"); !got.Equal(want) {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := s.Add("a"), s; !got.Equal(want) {
+		t.Errorf("Add existing = %v, want %v", got, want)
+	}
+	if got, want := s.Remove("b"), NewPIDs("a", "c"); !got.Equal(want) {
+		t.Errorf("Remove = %v, want %v", got, want)
+	}
+	if got, want := s.Remove("x"), s; !got.Equal(want) {
+		t.Errorf("Remove absent = %v, want %v", got, want)
+	}
+}
+
+func TestPIDsCloneIndependence(t *testing.T) {
+	s := NewPIDs("a", "b")
+	c := s.Clone()
+	c[0] = "z"
+	if s[0] != "a" {
+		t.Fatal("Clone shares backing array with original")
+	}
+	if PIDs(nil).Clone() != nil {
+		t.Fatal("Clone of nil should be nil")
+	}
+}
+
+func TestPIDsEqual(t *testing.T) {
+	tests := []struct {
+		a, b PIDs
+		want bool
+	}{
+		{NewPIDs(), NewPIDs(), true},
+		{NewPIDs("a"), NewPIDs("a"), true},
+		{NewPIDs("a"), NewPIDs("b"), false},
+		{NewPIDs("a", "b"), NewPIDs("a"), false},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Equal(tc.b); got != tc.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPIDsPropertySortedUnique(t *testing.T) {
+	f := func(raw []string) bool {
+		ps := make([]PID, len(raw))
+		for i, s := range raw {
+			ps[i] = PID(s)
+		}
+		got := NewPIDs(ps...)
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				return false
+			}
+		}
+		// Every input present, nothing extra.
+		for _, p := range ps {
+			if !got.Contains(p) {
+				return false
+			}
+		}
+		for _, p := range got {
+			found := false
+			for _, q := range ps {
+				if p == q {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package obsolete
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Enumeration is the message-enumeration encoding of §4.2: every message
+// explicitly lists the sequence numbers of the earlier messages (of the
+// same sender) that it makes obsolete. The list must already contain the
+// transitive closure of the relation; EnumTracker computes it.
+//
+// The annotation encodes the list compactly as uvarint deltas
+// (new.Seq - old.Seq), sorted ascending.
+type Enumeration struct{}
+
+// Name implements Relation.
+func (Enumeration) Name() string { return "enumeration" }
+
+// Obsoletes implements Relation.
+func (Enumeration) Obsoletes(old, new Msg) bool {
+	if old.Sender != new.Sender || old.Seq >= new.Seq {
+		return false
+	}
+	want := uint64(new.Seq - old.Seq)
+	p := new.Annot
+	for len(p) > 0 {
+		d, n := binary.Uvarint(p)
+		if n <= 0 {
+			return false
+		}
+		if d == want {
+			return true
+		}
+		p = p[n:]
+	}
+	return false
+}
+
+var _ Relation = Enumeration{}
+
+// EnumAnnot builds the enumeration annotation of a message with sequence
+// number seq obsoleting the given earlier sequence numbers. The caller is
+// responsible for supplying the transitive closure (or using EnumTracker).
+func EnumAnnot(seq ident.Seq, preds []ident.Seq) []byte {
+	if len(preds) == 0 {
+		return nil
+	}
+	ds := make([]uint64, 0, len(preds))
+	for _, p := range preds {
+		if p >= seq {
+			continue
+		}
+		ds = append(ds, uint64(seq-p))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	out := make([]byte, 0, len(ds)*2)
+	var buf [binary.MaxVarintLen64]byte
+	for _, d := range ds {
+		n := binary.PutUvarint(buf[:], d)
+		out = append(out, buf[:n]...)
+	}
+	return out
+}
+
+// EnumPreds decodes the sequence numbers enumerated by m, in ascending
+// order.
+func EnumPreds(m Msg) []ident.Seq {
+	var out []ident.Seq
+	p := m.Annot
+	for len(p) > 0 {
+		d, n := binary.Uvarint(p)
+		if n <= 0 {
+			break
+		}
+		if uint64(m.Seq) > d {
+			out = append(out, m.Seq-ident.Seq(d))
+		}
+		p = p[n:]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EnumTracker assigns sequence numbers and computes transitively closed
+// enumeration annotations at the sender. As the paper observes, "only the
+// recent messages from the enumeration need to be carried by each message
+// without any significant impact on the purging efficiency": the tracker
+// keeps a sliding window of the last Window messages' predecessor sets and
+// drops anything older.
+type EnumTracker struct {
+	// Window bounds how far back enumerated predecessors may reach.
+	window int
+	seq    ident.Seq
+	// preds[s] is the closed predecessor set of recent message s.
+	preds map[ident.Seq][]ident.Seq
+}
+
+// NewEnumTracker returns a tracker keeping a window of the given size
+// (how many recent messages remain enumerable). Window must be positive.
+func NewEnumTracker(window int) *EnumTracker {
+	if window <= 0 {
+		panic("obsolete: enumeration window must be positive")
+	}
+	return &EnumTracker{
+		window: window,
+		preds:  make(map[ident.Seq][]ident.Seq),
+	}
+}
+
+// Next allocates the next sequence number for a message that directly
+// obsoletes the messages with the given sequence numbers, and returns the
+// number together with the transitively closed annotation.
+func (t *EnumTracker) Next(direct ...ident.Seq) (ident.Seq, []byte) {
+	t.seq++
+	seq := t.seq
+	closed := map[ident.Seq]struct{}{}
+	lo := ident.Seq(1)
+	if uint64(seq) > uint64(t.window) {
+		lo = seq - ident.Seq(t.window)
+	}
+	for _, d := range direct {
+		if d >= seq || d < lo {
+			continue
+		}
+		closed[d] = struct{}{}
+		for _, dd := range t.preds[d] {
+			if dd >= lo {
+				closed[dd] = struct{}{}
+			}
+		}
+	}
+	set := make([]ident.Seq, 0, len(closed))
+	for s := range closed {
+		set = append(set, s)
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	t.preds[seq] = set
+	delete(t.preds, seq-ident.Seq(t.window)-1)
+	return seq, EnumAnnot(seq, set)
+}
+
+// Seq returns the last sequence number allocated.
+func (t *EnumTracker) Seq() ident.Seq { return t.seq }

@@ -1,0 +1,101 @@
+package obsolete
+
+import "repro/internal/ident"
+
+// Tracker is the sender-side annotation generator shared by the
+// enumeration-style encodings: it allocates the next sequence number for a
+// message that directly obsoletes the given earlier messages, returning
+// the wire annotation with the transitive closure already folded in.
+//
+// KTracker and EnumTracker implement it.
+type Tracker interface {
+	Next(direct ...ident.Seq) (ident.Seq, []byte)
+	Seq() ident.Seq
+}
+
+var (
+	_ Tracker = (*KTracker)(nil)
+	_ Tracker = (*EnumTracker)(nil)
+)
+
+// ItemTracker maps application data items onto an enumeration-style
+// Tracker: it remembers the last update of every item so that a new update
+// automatically obsoletes the previous one (the single-item pattern of
+// §4.1), and supports the multi-item batch pattern through Batch hooks.
+type ItemTracker struct {
+	tr   Tracker
+	last map[uint32]ident.Seq // item tag -> seq of its latest update
+}
+
+// NewItemTracker wraps tr.
+func NewItemTracker(tr Tracker) *ItemTracker {
+	return &ItemTracker{tr: tr, last: make(map[uint32]ident.Seq)}
+}
+
+// Seq returns the last sequence number allocated.
+func (t *ItemTracker) Seq() ident.Seq { return t.tr.Seq() }
+
+// Update allocates a message updating a single item: it obsoletes the
+// item's previous update, if any, and becomes the item's latest update.
+func (t *ItemTracker) Update(item uint32) (ident.Seq, []byte) {
+	var direct []ident.Seq
+	if prev, ok := t.last[item]; ok {
+		direct = append(direct, prev)
+	}
+	seq, annot := t.tr.Next(direct...)
+	t.last[item] = seq
+	return seq, annot
+}
+
+// Reliable allocates a message that neither obsoletes nor can be
+// obsoleted: creations, destructions and any other control content that
+// "must be reliably delivered" (§5.2).
+func (t *ItemTracker) Reliable() (ident.Seq, []byte) {
+	return t.tr.Next()
+}
+
+// Create allocates the creation message of a new item. Creation messages
+// are reliable; the item starts with no previous update.
+func (t *ItemTracker) Create(item uint32) (ident.Seq, []byte) {
+	delete(t.last, item)
+	return t.tr.Next()
+}
+
+// Destroy allocates the destruction message of an item. Destruction
+// messages are reliable; the item's update history is forgotten so a
+// recreated item does not obsolete across its own destruction.
+func (t *ItemTracker) Destroy(item uint32) (ident.Seq, []byte) {
+	delete(t.last, item)
+	return t.tr.Next()
+}
+
+// BatchMember allocates one update of a multi-item batch (§4.1). Batch
+// members never carry obsolescence themselves — "only the commit messages,
+// and not the individual updates, can make messages from previous batches
+// obsolete" — but the tracker records the item's previous update so the
+// commit can obsolete it.
+//
+// The returned prev is the sequence number the commit must obsolete
+// (0 if the item had no earlier update). The new update becomes the item's
+// latest only once Commit is called; callers pass the accumulated prevs
+// and member seqs to Commit.
+func (t *ItemTracker) BatchMember(item uint32) (seq ident.Seq, annot []byte, prev ident.Seq) {
+	prev = t.last[item]
+	seq, annot = t.tr.Next()
+	t.last[item] = seq
+	return seq, annot, prev
+}
+
+// Commit allocates the commit message of a batch: it directly obsoletes
+// the previous updates of every item the batch touched (the prevs returned
+// by BatchMember) and, optionally, earlier commits whose item sets are
+// covered by this batch.
+func (t *ItemTracker) Commit(prevs []ident.Seq) (ident.Seq, []byte) {
+	direct := make([]ident.Seq, 0, len(prevs))
+	for _, p := range prevs {
+		if p != 0 {
+			direct = append(direct, p)
+		}
+	}
+	return t.tr.Next(direct...)
+}

@@ -1,0 +1,113 @@
+package obsolete
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+)
+
+// KEnumeration is the k-enumeration encoding of §4.2, the representation
+// the paper recommends and evaluates: every message carries a k-bit bitmap
+// over the k messages preceding it in the sender's stream. If bit n is
+// set, the message obsoletes its (n+1)-th predecessor.
+//
+// Formally, with m.sn the sequence number and m.bm the bitmap:
+//
+//	m ⊑ m'  iff  m'.sn - k ≤ m.sn < m'.sn  and  m'.bm[m'.sn - m.sn - 1]
+//
+// (the paper indexes bitmaps from 1; we index from 0).
+//
+// Transitivity is the sender's responsibility: KTracker composes bitmaps
+// with shift-OR so the annotation of every message already contains the
+// transitive closure, truncated to the window k.
+type KEnumeration struct {
+	// K is the window size in messages. The paper's evaluation uses
+	// k = 2 × buffer size (§5.2).
+	K int
+}
+
+// Name implements Relation.
+func (r KEnumeration) Name() string { return fmt.Sprintf("k-enumeration(k=%d)", r.K) }
+
+// Obsoletes implements Relation.
+func (r KEnumeration) Obsoletes(old, new Msg) bool {
+	if old.Sender != new.Sender || old.Seq >= new.Seq {
+		return false
+	}
+	d := uint64(new.Seq - old.Seq)
+	if d > uint64(r.K) {
+		return false
+	}
+	return bitFromBytes(new.Annot, int(d-1))
+}
+
+var _ Relation = KEnumeration{}
+
+// KTracker allocates sequence numbers and computes transitively closed
+// k-enumeration bitmaps at the sender. It keeps the bitmaps of the last k
+// messages in a ring so that closure is a single shift-OR per direct
+// predecessor.
+type KTracker struct {
+	k   int
+	seq ident.Seq
+	// ring[(seq-1) % k] holds the bitmap of message seq while it remains
+	// inside the window.
+	ring []Bitmap
+}
+
+// NewKTracker returns a tracker with window k. k must be positive.
+func NewKTracker(k int) *KTracker {
+	if k <= 0 {
+		panic("obsolete: k must be positive")
+	}
+	t := &KTracker{k: k, ring: make([]Bitmap, k)}
+	for i := range t.ring {
+		t.ring[i] = NewBitmap(k)
+	}
+	return t
+}
+
+// K returns the window size.
+func (t *KTracker) K() int { return t.k }
+
+// Seq returns the last sequence number allocated.
+func (t *KTracker) Seq() ident.Seq { return t.seq }
+
+// Next allocates the next sequence number for a message that directly
+// obsoletes the messages with the given sequence numbers. It returns the
+// new sequence number and the wire annotation containing the transitive
+// closure (bounded by the window).
+//
+// Direct predecessors outside the window are silently dropped, mirroring
+// the paper: "it is very unlikely that two messages far apart in the
+// message stream can be found simultaneously in the same buffer".
+func (t *KTracker) Next(direct ...ident.Seq) (ident.Seq, []byte) {
+	t.seq++
+	seq := t.seq
+	bm := t.ring[int(uint64(seq-1))%t.k]
+	for i := range bm {
+		bm[i] = 0
+	}
+	for _, d := range direct {
+		if d >= seq || uint64(seq-d) > uint64(t.k) {
+			continue
+		}
+		delta := int(seq - d)
+		bm.Set(delta - 1)
+		// Fold in d's own closure, shifted into seq's frame: a message at
+		// distance i from d sits at distance delta+i from seq.
+		bm.OrShift(t.ring[int(uint64(d-1))%t.k], delta)
+	}
+	bm.Trim(t.k)
+	return seq, bm.Bytes()
+}
+
+// Annot returns the wire annotation of an already-allocated recent message
+// (one of the last k). It reports false if seq has fallen out of the
+// window. Useful for diagnostics and tests.
+func (t *KTracker) Annot(seq ident.Seq) ([]byte, bool) {
+	if seq == 0 || seq > t.seq || uint64(t.seq-seq) >= uint64(t.k) {
+		return nil, false
+	}
+	return t.ring[int(uint64(seq-1))%t.k].Bytes(), true
+}

@@ -1,0 +1,274 @@
+// Package queue implements the FIFO ordered message sets of the SVS
+// protocol (the to-deliver and delivered queues of the paper's Figure 1),
+// including the purge function that removes messages obsoleted by a later
+// message of the same view, and the bounded-capacity behaviour that drives
+// the flow control studied in §5.
+package queue
+
+import (
+	"errors"
+
+	"repro/internal/obsolete"
+)
+
+// Kind distinguishes the two kinds of queued entries of Figure 1: data
+// messages and view (control) markers. Control entries are never purged.
+type Kind uint8
+
+const (
+	// Data is an application multicast message.
+	Data Kind = iota + 1
+	// Control is a protocol marker (e.g. a view notification).
+	Control
+)
+
+// Item is one entry of a protocol queue.
+type Item struct {
+	Kind Kind
+	// View tags the view in which a data message was multicast; purge only
+	// relates messages of the same view (Figure 1, purge()).
+	View uint64
+	// Meta carries sender, sequence number and obsolescence annotation.
+	Meta obsolete.Msg
+	// Payload is the opaque application payload of a data message.
+	Payload []byte
+	// Ctl carries the content of a control entry (e.g. the new view).
+	Ctl any
+}
+
+// ErrFull is returned by Append when the queue is at capacity and no
+// obsolete entry could be purged to make room.
+var ErrFull = errors.New("queue: full")
+
+// Stats accumulates the counters the evaluation section reports on.
+type Stats struct {
+	Appended uint64 // entries accepted
+	Purged   uint64 // entries removed as obsolete
+	Popped   uint64 // entries consumed
+	Rejected uint64 // appends refused because the queue was full
+	MaxLen   int    // high-water mark
+}
+
+// Queue is a FIFO ordered set of items with semantic purging. It is not
+// safe for concurrent use; the protocol engine owns it from a single
+// goroutine.
+type Queue struct {
+	rel      obsolete.Relation
+	capacity int // 0 = unbounded
+	items    []Item
+	stats    Stats
+}
+
+// New returns an empty queue using rel to recognise obsolete entries.
+// capacity 0 means unbounded; otherwise Append fails with ErrFull when the
+// queue holds capacity entries and purging frees nothing.
+func New(rel obsolete.Relation, capacity int) *Queue {
+	if rel == nil {
+		rel = obsolete.Empty{}
+	}
+	return &Queue{rel: rel, capacity: capacity}
+}
+
+// Len returns the number of queued entries.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue) Cap() int { return q.capacity }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+
+// Stats returns the accumulated counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Append adds it to the tail. If the queue is full it first attempts a
+// full purge; if still full it returns ErrFull (the caller then exercises
+// flow control, as in §5.3).
+func (q *Queue) Append(it Item) error {
+	if q.Full() {
+		q.Purge()
+		if q.Full() {
+			q.stats.Rejected++
+			return ErrFull
+		}
+	}
+	q.items = append(q.items, it)
+	q.stats.Appended++
+	if len(q.items) > q.stats.MaxLen {
+		q.stats.MaxLen = len(q.items)
+	}
+	return nil
+}
+
+// Purge implements the purge function of Figure 1: repeatedly remove any
+// data entry m such that another data entry m' of the same view with
+// m ≺ m' is present. It returns the number of entries removed.
+//
+// A single marking pass against the original contents is equivalent to the
+// paper's while-loop: any marked set can be removed one element at a time
+// in ascending partial-order position, and at each step the witness
+// (strictly greater in the order) is still present. Maximal elements are
+// never marked, which is the invariant the correctness argument of §3.4
+// rests on.
+func (q *Queue) Purge() int {
+	if len(q.items) < 2 {
+		return 0
+	}
+	kept := q.items[:0]
+	removed := 0
+	for i := range q.items {
+		m := q.items[i]
+		if m.Kind == Data && q.obsoletedBy(m, i) {
+			removed++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	q.items = kept
+	q.stats.Purged += uint64(removed)
+	return removed
+}
+
+// obsoletedBy reports whether items[i] is obsoleted by any other data
+// entry of the same view.
+func (q *Queue) obsoletedBy(m Item, i int) bool {
+	for j := range q.items {
+		if j == i {
+			continue
+		}
+		n := q.items[j]
+		if n.Kind != Data || n.View != m.View {
+			continue
+		}
+		if q.rel.Obsoletes(m.Meta, n.Meta) {
+			return true
+		}
+	}
+	return false
+}
+
+// ForceAppend adds it to the tail regardless of capacity. The protocol
+// uses it for control markers and for the agreed flush set, which must
+// never be refused ("the protocol must always reserve separate buffer
+// space for control information", §5.3).
+func (q *Queue) ForceAppend(it Item) {
+	q.items = append(q.items, it)
+	q.stats.Appended++
+	if len(q.items) > q.stats.MaxLen {
+		q.stats.MaxLen = len(q.items)
+	}
+}
+
+// PurgeFor removes and returns the entries obsoleted by the (just received
+// or about to be appended) message n. This is the cheap O(len)
+// arrival-time purge used on the hot path; Purge remains available for the
+// full pairwise sweep. The removed items are returned so the caller can
+// release per-sender flow-control credits.
+func (q *Queue) PurgeFor(n Item) []Item {
+	if n.Kind != Data || len(q.items) == 0 {
+		return nil
+	}
+	kept := q.items[:0]
+	var removed []Item
+	for _, m := range q.items {
+		if m.Kind == Data && m.View == n.View && q.rel.Obsoletes(m.Meta, n.Meta) {
+			removed = append(removed, m)
+			continue
+		}
+		kept = append(kept, m)
+	}
+	q.items = kept
+	q.stats.Purged += uint64(len(removed))
+	return removed
+}
+
+// CountPurgeableFor reports how many entries PurgeFor(n) would remove,
+// without removing them. Used for the engine's all-or-nothing capacity
+// check before committing a multicast.
+func (q *Queue) CountPurgeableFor(n Item) int {
+	if n.Kind != Data {
+		return 0
+	}
+	c := 0
+	for _, m := range q.items {
+		if m.Kind == Data && m.View == n.View && q.rel.Obsoletes(m.Meta, n.Meta) {
+			c++
+		}
+	}
+	return c
+}
+
+// AppendPurge purges the entries obsoleted by it, then appends it. The
+// purge happens even if the append then fails with ErrFull — mirroring a
+// network buffer where the arriving packet displaces obsolete ones before
+// space is assessed.
+func (q *Queue) AppendPurge(it Item) (purged int, err error) {
+	purged = len(q.PurgeFor(it))
+	return purged, q.Append(it)
+}
+
+// PopHead removes and returns the head entry.
+func (q *Queue) PopHead() (Item, bool) {
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	it := q.items[0]
+	// Shift rather than reslice so the backing array does not pin popped
+	// payloads nor grow without bound.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	q.stats.Popped++
+	return it, true
+}
+
+// PeekHead returns the head entry without removing it.
+func (q *Queue) PeekHead() (Item, bool) {
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	return q.items[0], true
+}
+
+// Each calls f on every entry in FIFO order, stopping early if f returns
+// false.
+func (q *Queue) Each(f func(Item) bool) {
+	for _, it := range q.items {
+		if !f(it) {
+			return
+		}
+	}
+}
+
+// Any reports whether some entry satisfies f.
+func (q *Queue) Any(f func(Item) bool) bool {
+	for _, it := range q.items {
+		if f(it) {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveIf removes every entry satisfying f, returning how many were
+// removed. Unlike Purge this does not touch the purge counter; it is used
+// for view-change garbage collection.
+func (q *Queue) RemoveIf(f func(Item) bool) int {
+	kept := q.items[:0]
+	removed := 0
+	for _, it := range q.items {
+		if f(it) {
+			removed++
+			continue
+		}
+		kept = append(kept, it)
+	}
+	q.items = kept
+	return removed
+}
+
+// Snapshot returns a copy of the queue contents in FIFO order.
+func (q *Queue) Snapshot() []Item {
+	out := make([]Item, len(q.items))
+	copy(out, q.items)
+	return out
+}

@@ -1,0 +1,341 @@
+package queue
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+func dataItem(view uint64, sender ident.PID, seq ident.Seq, tag uint32) Item {
+	return Item{
+		Kind:    Data,
+		View:    view,
+		Meta:    obsolete.Msg{Sender: sender, Seq: seq, Annot: obsolete.TagAnnot(tag)},
+		Payload: []byte{byte(seq)},
+	}
+}
+
+func ctlItem(view uint64) Item {
+	return Item{Kind: Control, View: view, Ctl: view}
+}
+
+func seqs(q *Queue) []ident.Seq {
+	var out []ident.Seq
+	q.Each(func(it Item) bool {
+		out = append(out, it.Meta.Seq)
+		return true
+	})
+	return out
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(obsolete.Empty{}, 0)
+	for i := 1; i <= 5; i++ {
+		if err := q.Append(dataItem(1, "p", ident.Seq(i), uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		it, ok := q.PopHead()
+		if !ok || it.Meta.Seq != ident.Seq(i) {
+			t.Fatalf("pop %d: got %v,%v", i, it.Meta.Seq, ok)
+		}
+	}
+	if _, ok := q.PopHead(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestPurgeRemovesObsoleteKeepsMaximal(t *testing.T) {
+	q := New(obsolete.Tagging{}, 0)
+	// Updates to items 1,2,1,3,1 — purging should leave 2,3 and the last 1.
+	tags := []uint32{1, 2, 1, 3, 1}
+	for i, tag := range tags {
+		if err := q.Append(dataItem(1, "p", ident.Seq(i+1), tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := q.Purge()
+	if removed != 2 {
+		t.Fatalf("Purge removed %d, want 2", removed)
+	}
+	got := seqs(q)
+	want := []ident.Seq{2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("surviving seqs %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("surviving seqs %v, want %v (FIFO order must be preserved)", got, want)
+		}
+	}
+}
+
+func TestPurgeIgnoresCrossViewAndControl(t *testing.T) {
+	q := New(obsolete.Tagging{}, 0)
+	if err := q.Append(dataItem(1, "p", 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Append(ctlItem(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Same item, later seq, but a different view: must not purge.
+	if err := q.Append(dataItem(2, "p", 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if removed := q.Purge(); removed != 0 {
+		t.Fatalf("cross-view purge removed %d entries", removed)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+}
+
+func TestAppendFullAndPurgeToMakeRoom(t *testing.T) {
+	q := New(obsolete.Tagging{}, 3)
+	for i := 1; i <= 3; i++ {
+		if err := q.Append(dataItem(1, "p", ident.Seq(i), uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All distinct items: nothing purgeable, append must fail.
+	if err := q.Append(dataItem(1, "p", 4, 99)); !errors.Is(err, ErrFull) {
+		t.Fatalf("Append to full queue: err = %v, want ErrFull", err)
+	}
+	if got := q.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	// An update of item 2 purges the old one on arrival, making room.
+	purged, err := q.AppendPurge(dataItem(1, "p", 5, 2))
+	if err != nil {
+		t.Fatalf("AppendPurge: %v", err)
+	}
+	if purged != 1 {
+		t.Fatalf("AppendPurge purged %d, want 1", purged)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+}
+
+func TestAppendFullTriggersInternalPurge(t *testing.T) {
+	q := New(obsolete.Tagging{}, 2)
+	if err := q.Append(dataItem(1, "p", 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Append(dataItem(1, "p", 2, 7)); err != nil {
+		t.Fatal(err)
+	}
+	// Queue is full but holds an obsolete entry; Append purges to fit.
+	if err := q.Append(dataItem(1, "p", 3, 8)); err != nil {
+		t.Fatalf("Append should purge to make room: %v", err)
+	}
+	got := seqs(q)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("contents %v, want [2 3]", got)
+	}
+}
+
+func TestPurgeFor(t *testing.T) {
+	q := New(obsolete.Tagging{}, 0)
+	for i, tag := range []uint32{1, 2, 1} {
+		if err := q.Append(dataItem(1, "p", ident.Seq(i+1), tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Incoming update of item 1 purges both earlier updates of item 1.
+	if c := q.CountPurgeableFor(dataItem(1, "p", 4, 1)); c != 2 {
+		t.Fatalf("CountPurgeableFor = %d, want 2", c)
+	}
+	removed := q.PurgeFor(dataItem(1, "p", 4, 1))
+	if len(removed) != 2 {
+		t.Fatalf("PurgeFor removed %d, want 2", len(removed))
+	}
+	if removed[0].Meta.Seq != 1 || removed[1].Meta.Seq != 3 {
+		t.Fatalf("PurgeFor removed %v", removed)
+	}
+	got := seqs(q)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("contents %v, want [2]", got)
+	}
+	if n := q.PurgeFor(ctlItem(1)); n != nil {
+		t.Fatalf("PurgeFor(control) removed %d, want 0", len(n))
+	}
+}
+
+func TestRemoveIfAndSnapshot(t *testing.T) {
+	q := New(obsolete.Empty{}, 0)
+	for i := 1; i <= 4; i++ {
+		if err := q.Append(dataItem(uint64(i%2), "p", ident.Seq(i), uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := q.RemoveIf(func(it Item) bool { return it.View == 0 })
+	if removed != 2 {
+		t.Fatalf("RemoveIf removed %d, want 2", removed)
+	}
+	snap := q.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len %d, want 2", len(snap))
+	}
+	// Snapshot must be independent.
+	snap[0].Meta.Seq = 999
+	if got := seqs(q)[0]; got == 999 {
+		t.Fatal("Snapshot aliases queue storage")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	q := New(obsolete.Tagging{}, 0)
+	for i := 1; i <= 3; i++ {
+		if err := q.Append(dataItem(1, "p", ident.Seq(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Purge()
+	q.PopHead()
+	st := q.Stats()
+	if st.Appended != 3 || st.Purged != 2 || st.Popped != 1 || st.MaxLen != 3 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestAnyAndPeek(t *testing.T) {
+	q := New(obsolete.Empty{}, 0)
+	if _, ok := q.PeekHead(); ok {
+		t.Fatal("PeekHead on empty queue")
+	}
+	if err := q.Append(dataItem(1, "p", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	it, ok := q.PeekHead()
+	if !ok || it.Meta.Seq != 1 {
+		t.Fatal("PeekHead wrong")
+	}
+	if q.Len() != 1 {
+		t.Fatal("PeekHead must not remove")
+	}
+	if !q.Any(func(it Item) bool { return it.Meta.Seq == 1 }) {
+		t.Fatal("Any failed to find entry")
+	}
+	if q.Any(func(it Item) bool { return it.Meta.Seq == 2 }) {
+		t.Fatal("Any found phantom entry")
+	}
+}
+
+func TestNilRelationDefaultsToEmpty(t *testing.T) {
+	q := New(nil, 0)
+	if err := q.Append(dataItem(1, "p", 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Append(dataItem(1, "p", 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if removed := q.Purge(); removed != 0 {
+		t.Fatal("nil relation must behave as Empty (plain VS)")
+	}
+}
+
+// TestPurgePropertyMaximalSurvive drives random k-enumeration streams
+// through the queue and checks the §3.4 invariant: purge never discards
+// maximal elements, survivors keep FIFO order, and every removed entry is
+// covered by some survivor.
+func TestPurgePropertyMaximalSurvive(t *testing.T) {
+	const k = 16
+	rel := obsolete.KEnumeration{K: k}
+	rng := rand.New(rand.NewSource(123))
+
+	for trial := 0; trial < 100; trial++ {
+		tr := obsolete.NewKTracker(k)
+		n := 2 + rng.Intn(20)
+		var items []Item
+		for i := 0; i < n; i++ {
+			var direct []ident.Seq
+			for j := range items {
+				d := len(items) - j
+				if d <= k && rng.Intn(4) == 0 {
+					direct = append(direct, items[j].Meta.Seq)
+				}
+			}
+			s, a := tr.Next(direct...)
+			items = append(items, Item{
+				Kind: Data, View: 1,
+				Meta: obsolete.Msg{Sender: "p", Seq: s, Annot: a},
+			})
+		}
+		q := New(rel, 0)
+		for _, it := range items {
+			if err := q.Append(it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q.Purge()
+		surv := q.Snapshot()
+
+		// Maximal elements (no later message obsoletes them) must survive.
+		for _, m := range items {
+			maximal := true
+			for _, x := range items {
+				if rel.Obsoletes(m.Meta, x.Meta) {
+					maximal = false
+					break
+				}
+			}
+			if !maximal {
+				continue
+			}
+			found := false
+			for _, s := range surv {
+				if s.Meta.Seq == m.Meta.Seq {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: maximal message %d was purged", trial, m.Meta.Seq)
+			}
+		}
+		// Every removed entry must be covered by a survivor through a
+		// chain of the true (transitive) relation. The k-enumeration
+		// encoding truncates transitivity at the window edge, but the
+		// application-level relation is a transitive partial order, so
+		// chain coverage is the invariant that matters (§3.4).
+		surviving := make(map[ident.Seq]bool, len(surv))
+		for _, s := range surv {
+			surviving[s.Meta.Seq] = true
+		}
+		var chainCovered func(m Item, depth int) bool
+		chainCovered = func(m Item, depth int) bool {
+			if depth > len(items) {
+				return false
+			}
+			for _, x := range items {
+				if !rel.Obsoletes(m.Meta, x.Meta) {
+					continue
+				}
+				if surviving[x.Meta.Seq] || chainCovered(x, depth+1) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, m := range items {
+			if surviving[m.Meta.Seq] {
+				continue
+			}
+			if !chainCovered(m, 0) {
+				t.Fatalf("trial %d: purged message %d has no surviving cover chain", trial, m.Meta.Seq)
+			}
+		}
+		// FIFO order preserved.
+		for i := 1; i < len(surv); i++ {
+			if surv[i-1].Meta.Seq >= surv[i].Meta.Seq {
+				t.Fatalf("trial %d: FIFO order broken: %d before %d",
+					trial, surv[i-1].Meta.Seq, surv[i].Meta.Seq)
+			}
+		}
+	}
+}

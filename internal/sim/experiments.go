@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Point is one sample of a figure's series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Mode   Mode
+	Points []Point
+}
+
+// annotated caches the k-specific annotation of a trace.
+func annotated(tr *trace.Trace, buffer int) []trace.Msg {
+	return tr.Annotate("producer", 2*buffer)
+}
+
+// ProducerIdleSweep regenerates one curve of Fig. 4a: producer idle
+// percentage as a function of the slow consumer's rate, for a fixed
+// buffer size.
+func ProducerIdleSweep(tr *trace.Trace, mode Mode, buffer int, rates []float64) Series {
+	msgs := annotated(tr, buffer)
+	s := Series{Mode: mode}
+	for _, rate := range rates {
+		res := Run(Config{Mode: mode, Buffer: buffer, Msgs: msgs, ConsumerRate: rate})
+		s.Points = append(s.Points, Point{X: rate, Y: res.ProducerIdlePct})
+	}
+	return s
+}
+
+// OccupancySweep regenerates one curve of Fig. 4b: time-averaged buffer
+// occupancy as a function of the slow consumer's rate.
+func OccupancySweep(tr *trace.Trace, mode Mode, buffer int, rates []float64) Series {
+	msgs := annotated(tr, buffer)
+	s := Series{Mode: mode}
+	for _, rate := range rates {
+		res := Run(Config{Mode: mode, Buffer: buffer, Msgs: msgs, ConsumerRate: rate})
+		s.Points = append(s.Points, Point{X: rate, Y: res.AvgOccupancy})
+	}
+	return s
+}
+
+// Threshold computes one point of Fig. 5a: the minimum consumer rate
+// (msg/s) that keeps the producer's idle percentage at or below
+// maxIdlePct, found by bisection. Idle percentage is non-increasing in
+// the consumer rate.
+func Threshold(tr *trace.Trace, mode Mode, buffer int, maxIdlePct float64) float64 {
+	msgs := annotated(tr, buffer)
+	idleAt := func(rate float64) float64 {
+		return Run(Config{Mode: mode, Buffer: buffer, Msgs: msgs, ConsumerRate: rate}).ProducerIdlePct
+	}
+	lo, hi := 0.5, 400.0
+	if idleAt(hi) > maxIdlePct {
+		return math.Inf(1)
+	}
+	if idleAt(lo) <= maxIdlePct {
+		return lo
+	}
+	for hi-lo > 0.25 {
+		mid := (lo + hi) / 2
+		if idleAt(mid) <= maxIdlePct {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// ThresholdSweep regenerates one curve of Fig. 5a over buffer sizes.
+func ThresholdSweep(tr *trace.Trace, mode Mode, buffers []int, maxIdlePct float64) Series {
+	s := Series{Mode: mode}
+	for _, b := range buffers {
+		s.Points = append(s.Points, Point{X: float64(b), Y: Threshold(tr, mode, b, maxIdlePct)})
+	}
+	return s
+}
+
+// Perturbation computes one point of Fig. 5b: how long a receiver that
+// completely stops consuming can be tolerated before the producer blocks,
+// averaged over sample halt instants spread across the session. The
+// result is in seconds.
+func Perturbation(tr *trace.Trace, mode Mode, buffer int, samples int) float64 {
+	msgs := annotated(tr, buffer)
+	if samples <= 0 {
+		samples = 10
+	}
+	duration := tr.Duration()
+	total, n := 0.0, 0
+	for i := 0; i < samples; i++ {
+		// Halt instants in the middle 60% of the session, away from the
+		// cold start and the tail.
+		t0 := duration * (0.2 + 0.6*float64(i)/float64(samples))
+		res := Run(Config{
+			Mode: mode, Buffer: buffer, Msgs: msgs,
+			ConsumerRate: 0, // instant until halted
+			HaltAt:       t0,
+			StopOnBlock:  true,
+		})
+		tol := res.FirstBlock - t0
+		if math.IsInf(res.FirstBlock, 1) {
+			// Producer never blocked before the trace ended: censor at
+			// the remaining session length (a lower bound).
+			tol = res.Duration - t0
+		}
+		total += tol
+		n++
+	}
+	return total / float64(n)
+}
+
+// PerturbationSweep regenerates one curve of Fig. 5b over buffer sizes.
+func PerturbationSweep(tr *trace.Trace, mode Mode, buffers []int, samples int) Series {
+	s := Series{Mode: mode}
+	for _, b := range buffers {
+		s.Points = append(s.Points, Point{X: float64(b), Y: Perturbation(tr, mode, b, samples)})
+	}
+	return s
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// testTrace returns a short calibrated session (fast enough for unit
+// tests, long enough for stable statistics).
+func testTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	p := trace.DefaultParams()
+	p.Rounds = 3000
+	return trace.Generate(p)
+}
+
+func TestFastConsumerNeverBlocks(t *testing.T) {
+	tr := testTrace(t)
+	for _, mode := range []Mode{Reliable, Semantic} {
+		res := Run(Config{Mode: mode, Buffer: 15, Msgs: annotated(tr, 15), ConsumerRate: 0})
+		if res.BlockedTime != 0 {
+			t.Errorf("%v: instant consumer blocked producer for %v", mode, res.BlockedTime)
+		}
+		if res.Accepted != len(tr.Events) {
+			t.Errorf("%v: accepted %d of %d", mode, res.Accepted, len(tr.Events))
+		}
+		if res.Delivered != uint64(len(tr.Events)) {
+			t.Errorf("%v: delivered %d of %d", mode, res.Delivered, len(tr.Events))
+		}
+	}
+}
+
+func TestVeryFastRateNeverBlocks(t *testing.T) {
+	tr := testTrace(t)
+	res := Run(Config{Mode: Reliable, Buffer: 15, Msgs: annotated(tr, 15), ConsumerRate: 100000})
+	if res.ProducerIdlePct > 0.01 {
+		t.Errorf("idle %.3f%% with a 100k msg/s consumer", res.ProducerIdlePct)
+	}
+}
+
+func TestSlowConsumerBlocksReliable(t *testing.T) {
+	tr := testTrace(t)
+	res := Run(Config{Mode: Reliable, Buffer: 15, Msgs: annotated(tr, 15), ConsumerRate: 20})
+	if res.ProducerIdlePct < 50 {
+		t.Errorf("idle %.1f%%, expected heavy blocking at 20 msg/s (input ~43 msg/s)", res.ProducerIdlePct)
+	}
+	if res.Purged != 0 {
+		t.Errorf("reliable mode purged %d messages", res.Purged)
+	}
+	// Conservation: everything accepted is eventually delivered or queued.
+	if res.Delivered+uint64(0)+res.Purged > uint64(res.Accepted) {
+		t.Errorf("conservation violated: delivered %d purged %d accepted %d",
+			res.Delivered, res.Purged, res.Accepted)
+	}
+}
+
+func TestSemanticOutperformsReliable(t *testing.T) {
+	tr := testTrace(t)
+	// At a rate between the two thresholds, the semantic protocol must
+	// block dramatically less than the reliable one (Fig. 4a).
+	const rate = 35
+	rel := Run(Config{Mode: Reliable, Buffer: 15, Msgs: annotated(tr, 15), ConsumerRate: rate})
+	sem := Run(Config{Mode: Semantic, Buffer: 15, Msgs: annotated(tr, 15), ConsumerRate: rate})
+	if sem.ProducerIdlePct >= rel.ProducerIdlePct {
+		t.Errorf("semantic idle %.1f%% >= reliable idle %.1f%%", sem.ProducerIdlePct, rel.ProducerIdlePct)
+	}
+	if sem.Purged == 0 {
+		t.Error("semantic mode never purged")
+	}
+	if rel.ProducerIdlePct < 30 {
+		t.Errorf("reliable idle %.1f%%, premise broken", rel.ProducerIdlePct)
+	}
+	if sem.ProducerIdlePct > 5 {
+		t.Errorf("semantic idle %.1f%%, expected near zero", sem.ProducerIdlePct)
+	}
+}
+
+func TestConservationSemantic(t *testing.T) {
+	tr := testTrace(t)
+	res := Run(Config{Mode: Semantic, Buffer: 10, Msgs: annotated(tr, 10), ConsumerRate: 30})
+	// accepted = delivered + purged + still-buffered (and possibly one in
+	// service at the end).
+	buffered := uint64(res.Accepted) - res.Delivered - res.Purged
+	if buffered > uint64(res.MaxOccupancy)+1 {
+		t.Errorf("conservation: accepted %d delivered %d purged %d leaves %d buffered (max occ %d)",
+			res.Accepted, res.Delivered, res.Purged, buffered, res.MaxOccupancy)
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	tr := testTrace(t)
+	for _, mode := range []Mode{Reliable, Semantic} {
+		res := Run(Config{Mode: mode, Buffer: 15, Msgs: annotated(tr, 15), ConsumerRate: 25})
+		if res.MaxOccupancy > 15 {
+			t.Errorf("%v: occupancy %d exceeded buffer 15", mode, res.MaxOccupancy)
+		}
+		if res.AvgOccupancy < 0 || res.AvgOccupancy > 15 {
+			t.Errorf("%v: avg occupancy %.2f out of range", mode, res.AvgOccupancy)
+		}
+	}
+	// A saturated reliable buffer should average near its capacity.
+	res := Run(Config{Mode: Reliable, Buffer: 15, Msgs: annotated(tr, 15), ConsumerRate: 25})
+	if res.AvgOccupancy < 10 {
+		t.Errorf("reliable near-saturation avg occupancy %.2f, want ≳ 10", res.AvgOccupancy)
+	}
+}
+
+func TestThresholdMonotoneInBuffer(t *testing.T) {
+	tr := testTrace(t)
+	prevRel, prevSem := math.Inf(1), math.Inf(1)
+	for _, b := range []int{4, 12, 20, 28} {
+		rel := Threshold(tr, Reliable, b, 5)
+		sem := Threshold(tr, Semantic, b, 5)
+		if sem >= rel {
+			t.Errorf("buffer %d: semantic threshold %.1f >= reliable %.1f", b, sem, rel)
+		}
+		// Larger buffers tolerate slower consumers (small tolerance for
+		// bisection noise).
+		if rel > prevRel+1 || sem > prevSem+1 {
+			t.Errorf("buffer %d: thresholds not decreasing (rel %.1f->%.1f, sem %.1f->%.1f)",
+				b, prevRel, rel, prevSem, sem)
+		}
+		prevRel, prevSem = rel, sem
+	}
+}
+
+func TestThresholdStraddlesAverageRate(t *testing.T) {
+	// The paper's central claim (Fig. 5a): the reliable threshold can
+	// never drop below the average input rate, while the semantic one
+	// falls beneath it once buffers allow enough purging.
+	tr := testTrace(t)
+	avg := tr.MeanRate()
+	rel := Threshold(tr, Reliable, 28, 5)
+	sem := Threshold(tr, Semantic, 28, 5)
+	if rel < avg {
+		t.Errorf("reliable threshold %.1f fell below the average input rate %.1f", rel, avg)
+	}
+	if sem > avg {
+		t.Errorf("semantic threshold %.1f did not fall below the average input rate %.1f", sem, avg)
+	}
+}
+
+func TestPerturbationSemanticTolerance(t *testing.T) {
+	tr := testTrace(t)
+	for _, b := range []int{16, 24} {
+		rel := Perturbation(tr, Reliable, b, 6)
+		sem := Perturbation(tr, Semantic, b, 6)
+		if sem <= rel {
+			t.Errorf("buffer %d: semantic tolerance %.3fs <= reliable %.3fs", b, sem, rel)
+		}
+	}
+	// Tolerance grows with the buffer.
+	small := Perturbation(tr, Reliable, 8, 6)
+	large := Perturbation(tr, Reliable, 24, 6)
+	if large <= small {
+		t.Errorf("tolerance did not grow with buffer: %.3f vs %.3f", small, large)
+	}
+}
+
+func TestHaltStopsConsumption(t *testing.T) {
+	tr := testTrace(t)
+	res := Run(Config{
+		Mode: Reliable, Buffer: 10, Msgs: annotated(tr, 10),
+		ConsumerRate: 0, HaltAt: 10, StopOnBlock: true,
+	})
+	if math.IsInf(res.FirstBlock, 1) {
+		t.Fatal("producer never blocked after consumer halt")
+	}
+	if res.FirstBlock < 10 {
+		t.Fatalf("FirstBlock %.3f before the halt at 10", res.FirstBlock)
+	}
+	// With a buffer of 10 and ~43 msg/s input, blocking should follow the
+	// halt within a second or so.
+	if res.FirstBlock > 13 {
+		t.Fatalf("FirstBlock %.3f unreasonably late", res.FirstBlock)
+	}
+}
+
+func TestRunPanicsOnBadBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with Buffer=0 did not panic")
+		}
+	}()
+	Run(Config{Mode: Reliable, Buffer: 0})
+}
+
+func TestModeString(t *testing.T) {
+	if Reliable.String() != "reliable" || Semantic.String() != "semantic" {
+		t.Fatal("Mode.String wrong")
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// Msg is one message of an annotated stream: a trace event with the
+// protocol metadata (sequence number and k-enumeration bitmap) a sender
+// would attach, plus its emission time.
+type Msg struct {
+	Meta  obsolete.Msg
+	Event Event
+	// Time is the emission instant in seconds from session start.
+	Time float64
+}
+
+// Annotate converts the trace into the message stream sender would emit,
+// attaching k-enumeration obsolescence annotations computed exactly as the
+// paper prescribes (§5.2 uses k = twice the buffer size; callers pass k).
+// Creations and destructions are reliable; each update directly obsoletes
+// the item's previous update.
+func (t *Trace) Annotate(sender ident.PID, k int) []Msg {
+	it := obsolete.NewItemTracker(obsolete.NewKTracker(k))
+	out := make([]Msg, 0, len(t.Events))
+	for _, ev := range t.Events {
+		var seq ident.Seq
+		var annot []byte
+		switch ev.Kind {
+		case Create:
+			seq, annot = it.Create(ev.Item)
+		case Update:
+			seq, annot = it.Update(ev.Item)
+		case Destroy:
+			seq, annot = it.Destroy(ev.Item)
+		}
+		out = append(out, Msg{
+			Meta:  obsolete.Msg{Sender: sender, Seq: seq, Annot: annot},
+			Event: ev,
+			Time:  float64(ev.Round) / t.RoundsPerSec,
+		})
+	}
+	return out
+}

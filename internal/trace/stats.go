@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats characterises a session the way §5.2 of the paper does.
+type Stats struct {
+	Rounds   int
+	Messages int
+	// MeanActiveItems is the average number of live items per round
+	// (paper: 42.33).
+	MeanActiveItems float64
+	// MeanModifiedPerRound is the average number of items with at least
+	// one event per round (paper: 1.39).
+	MeanModifiedPerRound float64
+	// NeverObsoleteShare is the fraction of messages never obsoleted
+	// within the session (paper: 41.88%).
+	NeverObsoleteShare float64
+	// MeanRate is the average message rate (msg/s); the horizontal line of
+	// Fig. 5a.
+	MeanRate float64
+
+	// RankFreq is Fig. 3a: RankFreq[r] is the percentage of rounds in
+	// which the item with modification rank r+1 was modified.
+	RankFreq []float64
+	// DistanceHist is Fig. 3b: DistanceHist[d-1] is the percentage of all
+	// messages whose closest related (obsoleting) message is d positions
+	// later in the stream, for d = 1..len. DistanceOverflow collects
+	// larger distances.
+	DistanceHist     []float64
+	DistanceOverflow float64
+}
+
+// maxDistance is the largest distance bucket reported individually
+// (Fig. 3b plots up to 20).
+const maxDistance = 20
+
+// maxRank is the number of ranks reported for Fig. 3a (the paper plots 50).
+const maxRank = 50
+
+// Characterize computes the §5.2 statistics of tr.
+func Characterize(tr *Trace) Stats {
+	st := Stats{Rounds: tr.Rounds, Messages: len(tr.Events), MeanRate: tr.MeanRate()}
+
+	// Active items per round.
+	sum := 0
+	for _, a := range tr.ActivePerRound {
+		sum += a
+	}
+	if tr.Rounds > 0 {
+		st.MeanActiveItems = float64(sum) / float64(tr.Rounds)
+	}
+
+	// Modified items per round (distinct items with any event).
+	modified := make(map[int]map[uint32]bool)
+	for _, ev := range tr.Events {
+		if modified[ev.Round] == nil {
+			modified[ev.Round] = make(map[uint32]bool)
+		}
+		modified[ev.Round][ev.Item] = true
+	}
+	totalMod := 0
+	for _, items := range modified {
+		totalMod += len(items)
+	}
+	if tr.Rounds > 0 {
+		st.MeanModifiedPerRound = float64(totalMod) / float64(tr.Rounds)
+	}
+
+	// Obsolescence: an update is obsoleted by the item's next update (if
+	// any) within the session; creations and destructions never are.
+	nextUpdate := nextUpdateIndex(tr.Events)
+	never := 0
+	hist := make([]int, maxDistance)
+	overflow := 0
+	for i, ev := range tr.Events {
+		j, ok := nextUpdate[i]
+		if ev.Kind != Update || !ok {
+			never++
+			continue
+		}
+		d := j - i
+		if d <= maxDistance {
+			hist[d-1]++
+		} else {
+			overflow++
+		}
+	}
+	if len(tr.Events) > 0 {
+		n := float64(len(tr.Events))
+		st.NeverObsoleteShare = float64(never) / n
+		st.DistanceHist = make([]float64, maxDistance)
+		for d, c := range hist {
+			st.DistanceHist[d] = 100 * float64(c) / n
+		}
+		st.DistanceOverflow = 100 * float64(overflow) / n
+	}
+
+	// Fig. 3a: modification frequency by item rank.
+	roundsTouched := make(map[uint32]map[int]bool)
+	for _, ev := range tr.Events {
+		if roundsTouched[ev.Item] == nil {
+			roundsTouched[ev.Item] = make(map[int]bool)
+		}
+		roundsTouched[ev.Item][ev.Round] = true
+	}
+	freqs := make([]float64, 0, len(roundsTouched))
+	for _, rounds := range roundsTouched {
+		freqs = append(freqs, 100*float64(len(rounds))/float64(tr.Rounds))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(freqs)))
+	if len(freqs) > maxRank {
+		freqs = freqs[:maxRank]
+	}
+	st.RankFreq = freqs
+
+	return st
+}
+
+// nextUpdateIndex maps each event index to the stream index of the next
+// Update of the same item, when one exists. A Destroy breaks the chain:
+// updates of a recreated item do not obsolete across incarnations (the
+// generator never reuses transient ids, so this only guards hand-written
+// traces).
+func nextUpdateIndex(events []Event) map[int]int {
+	next := make(map[int]int)
+	lastSeen := make(map[uint32]int) // item -> index of its previous Update
+	for i, ev := range events {
+		switch ev.Kind {
+		case Update:
+			if j, ok := lastSeen[ev.Item]; ok {
+				next[j] = i
+			}
+			lastSeen[ev.Item] = i
+		case Destroy:
+			delete(lastSeen, ev.Item)
+		}
+	}
+	return next
+}
+
+// Summary renders the statistics against the paper's reference values.
+func (s Stats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds                  %8d   (paper: 11696)\n", s.Rounds)
+	fmt.Fprintf(&b, "messages                %8d\n", s.Messages)
+	fmt.Fprintf(&b, "mean rate (msg/s)       %8.2f   (paper: ~42)\n", s.MeanRate)
+	fmt.Fprintf(&b, "mean active items       %8.2f   (paper: 42.33)\n", s.MeanActiveItems)
+	fmt.Fprintf(&b, "mean modified/round     %8.2f   (paper: 1.39)\n", s.MeanModifiedPerRound)
+	fmt.Fprintf(&b, "never-obsolete share    %7.2f%%   (paper: 41.88%%)\n", 100*s.NeverObsoleteShare)
+	return b.String()
+}

@@ -1,0 +1,299 @@
+// Package trace models the update workload of a multi-player game server,
+// calibrated to the measurements the paper reports for an instrumented
+// Quake session (§5.2): 5 players, ≈6 minutes, 11 696 rounds at a target
+// of 30 rounds/s, an average of 42.33 active items of which 1.39 are
+// modified per round, 41.88% of messages never becoming obsolete, a
+// heavy-tailed item-modification frequency (Fig. 3a) and obsolescence
+// distances concentrated under 10 messages (Fig. 3b).
+//
+// The paper's raw traces are not available; this package substitutes a
+// synthetic generator whose traffic is statistically equivalent in every
+// dimension the simulation consumes: message arrival pattern (bursty
+// rounds) and the obsolescence relation between messages. The generator's
+// model:
+//
+//   - a fixed population of persistent items (players, doors, platforms)
+//     touched in short bursts of consecutive-round updates, with burst
+//     targets drawn from a Zipf distribution over item rank — producing
+//     Fig. 3a's shape;
+//   - transient items (projectiles) that are created, updated a couple of
+//     times and destroyed — creations, destructions and each item's final
+//     update never become obsolete, producing the large never-obsolete
+//     share;
+//   - per-round update counts that fluctuate (bursts), producing the
+//     paper's observation that receivers must outpace the average rate.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// EventKind is the kind of a trace event.
+type EventKind uint8
+
+const (
+	// Create introduces an item (reliable message).
+	Create EventKind = iota + 1
+	// Update modifies an item (obsoleted by the item's next update).
+	Update
+	// Destroy removes an item (reliable message).
+	Destroy
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Create:
+		return "create"
+	case Update:
+		return "update"
+	case Destroy:
+		return "destroy"
+	default:
+		return "?"
+	}
+}
+
+// Event is one message of the session: an operation on an item emitted in
+// a given round.
+type Event struct {
+	Round int
+	Kind  EventKind
+	Item  uint32
+}
+
+// Trace is a recorded (or generated) session.
+type Trace struct {
+	// Rounds is the number of simulation rounds in the session.
+	Rounds int
+	// RoundsPerSec converts rounds to time (the paper's server targets 30).
+	RoundsPerSec float64
+	// Events is the message stream in emission order.
+	Events []Event
+	// ActivePerRound is the number of live items at each round.
+	ActivePerRound []int
+}
+
+// Params configures the generator. DefaultParams reproduces the §5.2
+// statistics; the sweep benchmarks vary individual fields.
+type Params struct {
+	Rounds       int
+	Seed         int64
+	RoundsPerSec float64
+
+	// PersistentItems is the fixed item population (players, world items).
+	PersistentItems int
+	// ZipfS is the skew of burst-target selection by item rank.
+	ZipfS float64
+	// BurstStartsPerRound is the Poisson rate of new persistent bursts.
+	BurstStartsPerRound float64
+	// BurstLenMean is the geometric mean length (rounds) of a burst; the
+	// bursting item is updated once per round while it lasts.
+	BurstLenMean float64
+
+	// TransientSpawnsPerRound is the Poisson rate of projectile spawns.
+	TransientSpawnsPerRound float64
+	// TransientUpdatesMean is the geometric mean number of updates a
+	// transient item receives between creation and destruction.
+	TransientUpdatesMean float64
+}
+
+// DefaultParams returns the calibration targeting the paper's session.
+func DefaultParams() Params {
+	return Params{
+		Rounds:                  11696,
+		Seed:                    42,
+		RoundsPerSec:            30,
+		PersistentItems:         42,
+		ZipfS:                   1.30,
+		BurstStartsPerRound:     0.27,
+		BurstLenMean:            2.4,
+		TransientSpawnsPerRound: 0.19,
+		TransientUpdatesMean:    2.0,
+	}
+}
+
+// ScalePlayers adjusts the parameters as if the session had the given
+// number of players instead of the calibration's five. §5.2 reports the
+// effect of more players: "the message rate increases, the share of
+// messages that never become obsolete decreases, but the distance between
+// related messages increases" — more items are touched concurrently, so
+// consecutive updates of one item sit further apart in the stream, while
+// persistent traffic (almost all of which eventually becomes obsolete)
+// grows faster than projectile traffic.
+func ScalePlayers(p Params, players int) Params {
+	if players <= 0 || players == 5 {
+		return p
+	}
+	scale := float64(players) / 5
+	p.PersistentItems = int(float64(p.PersistentItems) * scale)
+	p.BurstStartsPerRound *= scale
+	p.TransientSpawnsPerRound *= 1 + (scale-1)*0.5 // projectiles grow sub-linearly
+	return p
+}
+
+// Generate produces a session from p. The same Params yield the same
+// trace.
+func Generate(p Params) *Trace {
+	rng := rand.New(rand.NewSource(p.Seed))
+	tr := &Trace{
+		Rounds:         p.Rounds,
+		RoundsPerSec:   p.RoundsPerSec,
+		ActivePerRound: make([]int, p.Rounds),
+	}
+
+	zipf := newZipfPicker(p.PersistentItems, p.ZipfS, rng)
+	burst := make(map[uint32]int)     // persistent item -> remaining burst rounds
+	transient := make(map[uint32]int) // transient item -> remaining updates
+	nextTransient := uint32(1_000_000)
+
+	for r := 0; r < p.Rounds; r++ {
+		var round []Event
+
+		// New persistent bursts.
+		for i := poisson(rng, p.BurstStartsPerRound); i > 0; i-- {
+			item := zipf.pick()
+			burst[item] += geometric(rng, p.BurstLenMean)
+		}
+		// One update per bursting item per round. Maps are iterated in
+		// sorted key order so the same seed always yields the same trace.
+		for _, item := range sortedKeys(burst) {
+			round = append(round, Event{Round: r, Kind: Update, Item: item})
+			if burst[item]--; burst[item] <= 0 {
+				delete(burst, item)
+			}
+		}
+
+		// Transient lifecycle: spawn this round, update once per round
+		// from the next round on, destroy when the updates run out.
+		spawned := make(map[uint32]bool)
+		for i := poisson(rng, p.TransientSpawnsPerRound); i > 0; i-- {
+			id := nextTransient
+			nextTransient++
+			round = append(round, Event{Round: r, Kind: Create, Item: id})
+			transient[id] = geometric(rng, p.TransientUpdatesMean)
+			spawned[id] = true
+		}
+		for _, id := range sortedKeys(transient) {
+			if spawned[id] {
+				continue // first update comes the round after creation
+			}
+			if transient[id] == 0 {
+				round = append(round, Event{Round: r, Kind: Destroy, Item: id})
+				delete(transient, id)
+				continue
+			}
+			round = append(round, Event{Round: r, Kind: Update, Item: id})
+			transient[id]--
+		}
+
+		// Interleave the round's messages as a real server would emit
+		// them, keeping each item's create before its updates (creates
+		// stay in place; only updates of distinct items swap freely).
+		shuffleRound(rng, round)
+		tr.Events = append(tr.Events, round...)
+		tr.ActivePerRound[r] = p.PersistentItems + len(transient)
+	}
+	return tr
+}
+
+// sortedKeys returns the keys of m in ascending order.
+func sortedKeys(m map[uint32]int) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// shuffleRound permutes a round's events. Because a transient item is only
+// created (never also updated) in its spawn round, any permutation keeps
+// every item's stream well-formed; the shuffle just removes the artificial
+// persistent-then-transient grouping.
+func shuffleRound(rng *rand.Rand, round []Event) {
+	rng.Shuffle(len(round), func(i, j int) { round[i], round[j] = round[j], round[i] })
+}
+
+// Duration returns the session length in seconds.
+func (t *Trace) Duration() float64 {
+	if t.RoundsPerSec <= 0 {
+		return 0
+	}
+	return float64(t.Rounds) / t.RoundsPerSec
+}
+
+// MeanRate returns the average message rate in messages per second.
+func (t *Trace) MeanRate() float64 {
+	d := t.Duration()
+	if d == 0 {
+		return 0
+	}
+	return float64(len(t.Events)) / d
+}
+
+// ---- distributions ----------------------------------------------------------
+
+// poisson samples a Poisson variate with rate lambda (Knuth's algorithm;
+// fine for the small rates used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// geometric samples a geometric variate with the given mean, support ≥ 1.
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for rng.Float64() > p && n < int(mean*10) {
+		n++
+	}
+	return n
+}
+
+// zipfPicker draws item ids 1..n with P(rank r) ∝ 1/r^s.
+type zipfPicker struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+func newZipfPicker(n int, s float64, rng *rand.Rand) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfPicker{cum: cum, rng: rng}
+}
+
+func (z *zipfPicker) pick() uint32 {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo + 1) // item ids are 1-based ranks
+}

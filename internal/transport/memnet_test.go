@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+func recvOne(t *testing.T, in <-chan Envelope) Envelope {
+	t.Helper()
+	select {
+	case e, ok := <-in:
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return e
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for envelope")
+		return Envelope{}
+	}
+}
+
+func TestMemNetworkBasicSendRecv(t *testing.T) {
+	n := NewMemNetwork()
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send("b", Data, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b.Inbox(Data))
+	if env.From != "a" || env.Msg != "hello" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestMemNetworkFIFOPerSender(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+
+	const count = 500
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", Data, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := b.Inbox(Data)
+	for i := 0; i < count; i++ {
+		env := recvOne(t, in)
+		if env.Msg != i {
+			t.Fatalf("out of order: got %v want %d", env.Msg, i)
+		}
+	}
+}
+
+func TestMemNetworkChannelsAreIsolated(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send("b", Ctl, "ctl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", Data, "data"); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, b.Inbox(Data)); env.Msg != "data" {
+		t.Fatalf("data channel got %v", env.Msg)
+	}
+	if env := recvOne(t, b.Inbox(Ctl)); env.Msg != "ctl" {
+		t.Fatalf("ctl channel got %v", env.Msg)
+	}
+}
+
+func TestMemNetworkSelfSend(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	defer a.Close()
+
+	if err := a.Send("a", Ctl, 42); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, a.Inbox(Ctl)); env.Msg != 42 || env.From != "a" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestMemNetworkUnknownPeer(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	defer a.Close()
+	if err := a.Send("ghost", Data, 1); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestMemNetworkDuplicateEndpoint(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	defer a.Close()
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatal("duplicate endpoint should fail")
+	}
+}
+
+func TestMemNetworkClosedEndpointSend(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer b.Close()
+	a.Close()
+	if err := a.Send("b", Data, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemNetworkCrashDropsTraffic(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+
+	inbox := b.Inbox(Data)
+	n.Crash("b")
+	if err := a.Send("b", Data, 1); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("send to crashed peer: err = %v, want ErrUnknownPeer", err)
+	}
+	select {
+	case _, ok := <-inbox:
+		if ok {
+			t.Fatal("crashed endpoint received a message")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("crashed endpoint's inbox not closed")
+	}
+}
+
+func TestMemNetworkCutAndHeal(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+
+	n.Cut("a", "b")
+	if err := a.Send("b", Data, "lost"); err != nil {
+		t.Fatalf("send on cut link should silently drop, got %v", err)
+	}
+	// Reverse direction still works.
+	if err := b.Send("a", Data, "back"); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, a.Inbox(Data)); env.Msg != "back" {
+		t.Fatalf("got %v", env.Msg)
+	}
+
+	n.Heal("a", "b")
+	if err := a.Send("b", Data, "again"); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, b.Inbox(Data)); env.Msg != "again" {
+		t.Fatalf("after heal got %v", env.Msg)
+	}
+}
+
+func TestMemNetworkDelayPreservesFIFO(t *testing.T) {
+	n := NewMemNetwork()
+	n.SetDelay(func(from, to ident.PID) time.Duration { return time.Millisecond })
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+
+	const count = 20
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", Data, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := b.Inbox(Data)
+	for i := 0; i < count; i++ {
+		env := recvOne(t, in)
+		if env.Msg != i {
+			t.Fatalf("out of order with delay: got %v want %d", env.Msg, i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < count*time.Millisecond {
+		t.Fatalf("delay not applied: %v elapsed for %d paced messages", elapsed, count)
+	}
+}
+
+func TestMemNetworkCloseUnblocksInbox(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	in := a.Inbox(Data)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range in {
+		}
+	}()
+	a.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("inbox reader not released by Close")
+	}
+}

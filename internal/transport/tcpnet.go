@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/ident"
+)
+
+// TCPNetwork implements Endpoint over real TCP connections with gob
+// encoding, so a group can span OS processes and machines. One TCP
+// connection is maintained per outgoing peer; TCP's in-order reliable
+// delivery provides the FIFO reliable channel of the system model for the
+// lifetime of the session (crash-stop: a broken connection is treated as
+// the peer's crash, there is no reconnect-and-replay).
+//
+// All concrete message types sent through the network must be registered
+// with encoding/gob (the protocol packages do so for their wire types).
+type TCPNetwork struct {
+	self ident.PID
+	ln   net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	peers    map[ident.PID]string
+	conns    map[ident.PID]*peerConn
+	accepted map[net.Conn]struct{}
+	inboxes  map[Channel]*ubq
+	wg       sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPNetwork)(nil)
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// wireEnv is the on-the-wire envelope.
+type wireEnv struct {
+	From ident.PID
+	Ch   Channel
+	Msg  any
+}
+
+// NewTCPNetwork starts listening on listenAddr and returns the endpoint
+// for self. peers maps every other group member to its listen address;
+// connections are dialed lazily on first send.
+func NewTCPNetwork(self ident.PID, listenAddr string, peers map[ident.PID]string) (*TCPNetwork, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	n := &TCPNetwork{
+		self:     self,
+		ln:       ln,
+		peers:    make(map[ident.PID]string, len(peers)),
+		conns:    make(map[ident.PID]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+		inboxes:  make(map[Channel]*ubq, numChannels),
+	}
+	for p, addr := range peers {
+		n.peers[p] = addr
+	}
+	for _, ch := range Channels() {
+		n.inboxes[ch] = newUBQ()
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (n *TCPNetwork) Addr() string { return n.ln.Addr().String() }
+
+// AddPeer registers (or updates) the address of a peer. It allows groups
+// to be bootstrapped with ":0" listeners whose ports are only known after
+// every member has started listening.
+func (n *TCPNetwork) AddPeer(p ident.PID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[p] = addr
+}
+
+// Self implements Endpoint.
+func (n *TCPNetwork) Self() ident.PID { return n.self }
+
+// Inbox implements Endpoint.
+func (n *TCPNetwork) Inbox(ch Channel) <-chan Envelope {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q, ok := n.inboxes[ch]
+	if !ok {
+		q = newUBQ()
+		n.inboxes[ch] = q
+	}
+	return q.out
+}
+
+// Send implements Endpoint.
+func (n *TCPNetwork) Send(to ident.PID, ch Channel, m any) error {
+	if to == n.self {
+		n.deposit(Envelope{From: n.self, Msg: m}, ch)
+		return nil
+	}
+	pc, err := n.peer(to)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := pc.enc.Encode(wireEnv{From: n.self, Ch: ch, Msg: m}); err != nil {
+		n.dropPeer(to, pc)
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// peer returns the (possibly newly dialed) connection to p.
+func (n *TCPNetwork) peer(p ident.PID) (*peerConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if pc, ok := n.conns[p]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.peers[p]
+	n.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownPeer
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", p, addr, err)
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if pc, ok := n.conns[p]; ok { // lost the race, reuse the winner
+		conn.Close()
+		return pc, nil
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	n.conns[p] = pc
+	return pc, nil
+}
+
+func (n *TCPNetwork) dropPeer(p ident.PID, pc *peerConn) {
+	pc.conn.Close()
+	n.mu.Lock()
+	if n.conns[p] == pc {
+		delete(n.conns, p)
+	}
+	n.mu.Unlock()
+}
+
+func (n *TCPNetwork) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNetwork) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var we wireEnv
+		if err := dec.Decode(&we); err != nil {
+			return // connection closed or peer crashed
+		}
+		n.deposit(Envelope{From: we.From, Msg: we.Msg}, we.Ch)
+	}
+}
+
+func (n *TCPNetwork) deposit(env Envelope, ch Channel) {
+	n.mu.Lock()
+	q, ok := n.inboxes[ch]
+	if !ok {
+		q = newUBQ()
+		n.inboxes[ch] = q
+	}
+	closed := n.closed
+	n.mu.Unlock()
+	if !closed {
+		q.push(env)
+	}
+}
+
+// Close implements Endpoint.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]*peerConn, 0, len(n.conns))
+	for _, pc := range n.conns {
+		conns = append(conns, pc)
+	}
+	n.conns = make(map[ident.PID]*peerConn)
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
+	inboxes := make([]*ubq, 0, len(n.inboxes))
+	for _, q := range n.inboxes {
+		inboxes = append(inboxes, q)
+	}
+	n.mu.Unlock()
+
+	n.ln.Close()
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	n.wg.Wait()
+	for _, q := range inboxes {
+		q.close()
+	}
+	return nil
+}

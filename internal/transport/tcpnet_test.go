@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+// tcpPayload is a test wire type.
+type tcpPayload struct {
+	N int
+	S string
+}
+
+func init() { gob.Register(tcpPayload{}) }
+
+func tcpPair(t *testing.T) (*TCPNetwork, *TCPNetwork) {
+	t.Helper()
+	a, err := NewTCPNetwork("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPNetwork("b", "127.0.0.1:0", map[ident.PID]string{"a": a.Addr()})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	// Give a the route back to b.
+	a.mu.Lock()
+	a.peers["b"] = b.Addr()
+	a.mu.Unlock()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestTCPNetworkSendRecv(t *testing.T) {
+	a, b := tcpPair(t)
+	if err := a.Send("b", Data, tcpPayload{N: 7, S: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, b.Inbox(Data))
+	p, ok := env.Msg.(tcpPayload)
+	if !ok || p.N != 7 || p.S != "hi" || env.From != "a" {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestTCPNetworkBidirectional(t *testing.T) {
+	a, b := tcpPair(t)
+	if err := a.Send("b", Ctl, tcpPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("a", Ctl, tcpPayload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, b.Inbox(Ctl)); env.Msg.(tcpPayload).N != 1 {
+		t.Fatalf("b got %+v", env)
+	}
+	if env := recvOne(t, a.Inbox(Ctl)); env.Msg.(tcpPayload).N != 2 {
+		t.Fatalf("a got %+v", env)
+	}
+}
+
+func TestTCPNetworkFIFO(t *testing.T) {
+	a, b := tcpPair(t)
+	const count = 300
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", Data, tcpPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := b.Inbox(Data)
+	for i := 0; i < count; i++ {
+		env := recvOne(t, in)
+		if env.Msg.(tcpPayload).N != i {
+			t.Fatalf("out of order: got %v want %d", env.Msg, i)
+		}
+	}
+}
+
+func TestTCPNetworkSelfSend(t *testing.T) {
+	a, _ := tcpPair(t)
+	if err := a.Send("a", Data, tcpPayload{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, a.Inbox(Data)); env.Msg.(tcpPayload).N != 9 {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestTCPNetworkUnknownPeer(t *testing.T) {
+	a, _ := tcpPair(t)
+	if err := a.Send("ghost", Data, tcpPayload{}); err == nil {
+		t.Fatal("send to unknown peer should fail")
+	}
+}
+
+func TestTCPNetworkCloseUnblocks(t *testing.T) {
+	a, err := NewTCPNetwork("x", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := a.Inbox(Data)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range in {
+		}
+	}()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("inbox reader not released by Close")
+	}
+	if err := a.Send("anyone", Data, tcpPayload{}); err == nil {
+		t.Fatal("send after close should fail")
+	}
+}

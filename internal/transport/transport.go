@@ -1,0 +1,75 @@
+// Package transport provides the point-to-point message passing channels of
+// the paper's system model (§3.1): processes are fully connected by
+// reliable, FIFO-ordered channels with no bound on transmission time.
+//
+// Two implementations are provided: MemNetwork, an in-process network built
+// on goroutines and unbounded per-link queues (with optional fault
+// injection for tests), and TCPNetwork, a gob-over-TCP network for running
+// a group across real processes.
+//
+// Messages are multiplexed onto logical channels so that the protocol, the
+// failure detector and the consensus module each own an independent inbox:
+// a slow application never starves the control plane, which is exactly the
+// buffer separation the paper prescribes ("the protocol must always reserve
+// separate buffer space for control information", §5.3).
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/ident"
+)
+
+// Channel identifies a logical multiplexing channel on an endpoint.
+type Channel uint8
+
+const (
+	// Data carries application multicast traffic (DATA messages). It is
+	// the only channel subject to protocol-level flow control.
+	Data Channel = iota + 1
+	// Ctl carries SVS control traffic: INIT, PRED, VIEW dissemination,
+	// stability gossip and flow-control credits.
+	Ctl
+	// Consensus carries the consensus module's rounds.
+	Consensus
+	// FailureDetector carries heartbeats.
+	FailureDetector
+
+	numChannels = FailureDetector
+)
+
+// Channels lists every defined channel.
+func Channels() []Channel {
+	return []Channel{Data, Ctl, Consensus, FailureDetector}
+}
+
+// Envelope is a received message together with its origin.
+type Envelope struct {
+	From ident.PID
+	Msg  any
+}
+
+// ErrClosed is returned by Send on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// ErrUnknownPeer is returned by Send when the destination is not part of
+// the network.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Endpoint is one process's attachment to the network.
+//
+// Send enqueues m for delivery to the destination's inbox for channel ch;
+// it never blocks on the receiver (channels are reliable and unbounded —
+// bounded buffering and flow control live above, in the protocol, where
+// the paper places them). Implementations guarantee per-sender FIFO order
+// within each channel provided the sender calls Send from one goroutine,
+// which the protocol engine does.
+//
+// Inbox returns the receive channel for ch; it is closed when the endpoint
+// is closed.
+type Endpoint interface {
+	Self() ident.PID
+	Send(to ident.PID, ch Channel, m any) error
+	Inbox(ch Channel) <-chan Envelope
+	Close() error
+}

@@ -1,0 +1,81 @@
+package transport
+
+import "sync"
+
+// ubq is an unbounded FIFO queue of envelopes pumped into a Go channel.
+// Pushes never block; the paper's model places all bounded buffering (and
+// hence flow control) in the protocol layer, so the transport must never
+// exert backpressure of its own.
+type ubq struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Envelope
+	closed bool
+
+	out  chan Envelope
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newUBQ() *ubq {
+	q := &ubq{
+		out:  make(chan Envelope),
+		done: make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(1)
+	go q.pump()
+	return q
+}
+
+// push enqueues e; it is a no-op after close.
+func (q *ubq) push(e Envelope) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, e)
+	q.cond.Signal()
+}
+
+// close stops the pump; pending items are dropped (crash-stop semantics:
+// a closed endpoint has crashed and receives nothing further).
+func (q *ubq) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.done)
+	q.cond.Signal()
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+func (q *ubq) pump() {
+	defer q.wg.Done()
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		e := q.items[0]
+		// Shift so the backing array does not pin delivered envelopes.
+		copy(q.items, q.items[1:])
+		q.items = q.items[:len(q.items)-1]
+		q.mu.Unlock()
+
+		select {
+		case q.out <- e:
+		case <-q.done:
+			return
+		}
+	}
+}
