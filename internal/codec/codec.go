@@ -1,0 +1,212 @@
+// Package codec implements the hand-rolled binary wire encoding of the
+// protocol: a small set of varint-based primitives plus a type registry
+// that lets a transport round-trip `any`-typed envelope payloads without
+// the per-message reflection cost of encoding/gob.
+//
+// Encoding primitives are append-style (`Append*`) so callers can reuse
+// scratch buffers across messages; decoding goes through Reader, a strict
+// cursor over a []byte with a sticky error, bounded lengths (a claimed
+// length never exceeds the remaining input, so malformed input cannot
+// force large allocations) and explicit nil/empty distinction for byte
+// slices and collections.
+//
+// Wire layout conventions:
+//
+//   - unsigned integers: LEB128 uvarint (encoding/binary);
+//   - signed integers: zig-zag varint;
+//   - strings: uvarint length + raw bytes (never nil);
+//   - byte slices: uvarint(0) for nil, uvarint(len+1) + raw bytes otherwise;
+//   - collections (slices, maps): uvarint(0) for nil, uvarint(n+1) for n
+//     elements otherwise (AppendCount / Reader.Count);
+//   - registered messages: one TypeID byte followed by the type's encoding
+//     (Marshal / Unmarshal).
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Errors reported by Reader.
+var (
+	// ErrTruncated is the sticky Reader error: the input ended inside a
+	// field, a varint was malformed, or a claimed length exceeded the
+	// remaining input.
+	ErrTruncated = errors.New("codec: truncated or malformed input")
+	// ErrTrailing is returned by strict decoders when input remains after
+	// the last field.
+	ErrTrailing = errors.New("codec: trailing bytes after message")
+)
+
+// AppendUvarint appends v as a LEB128 uvarint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v as a zig-zag varint.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendByte appends a single raw byte.
+func AppendByte(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// AppendString appends s as uvarint length + raw bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends p, preserving the nil/empty distinction: nil encodes
+// as uvarint 0, a slice of n bytes as uvarint n+1 followed by the bytes.
+func AppendBytes(dst []byte, p []byte) []byte {
+	if p == nil {
+		return append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(p))+1)
+	return append(dst, p...)
+}
+
+// AppendCount appends the size of a collection, preserving the nil/empty
+// distinction: nil encodes as uvarint 0, n elements as uvarint n+1.
+func AppendCount(dst []byte, n int, isNil bool) []byte {
+	if isNil {
+		return append(dst, 0)
+	}
+	return binary.AppendUvarint(dst, uint64(n)+1)
+}
+
+// Reader is a strict decoding cursor over one encoded message. Methods
+// return zero values once an error has occurred; check Err (or use the
+// registry's Unmarshal, which does) after decoding.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over p. The Reader aliases p; byte slices
+// returned by Bytes are copies, so p may be reused once decoding is done.
+func NewReader(p []byte) *Reader {
+	return &Reader{buf: p}
+}
+
+// Reset re-points r at p, clearing any error.
+func (r *Reader) Reset(p []byte) {
+	r.buf, r.off, r.err = p, 0, nil
+}
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of undecoded bytes remaining.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+// Uvarint decodes a LEB128 uvarint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = ErrTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a zig-zag varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = ErrTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Byte decodes one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.err = ErrTruncated
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// take returns the next n bytes of the input, aliasing the buffer.
+func (r *Reader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Len()) {
+		r.err = ErrTruncated
+		return nil
+	}
+	p := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p
+}
+
+// String decodes a string.
+func (r *Reader) String() string {
+	return string(r.take(r.Uvarint()))
+}
+
+// Bytes decodes a byte slice written by AppendBytes. The result is a copy
+// (it owns its memory) and preserves nil vs empty.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	p := r.take(n - 1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// Count decodes a collection size written by AppendCount. The claimed
+// count is bounded by the remaining input length in bytes (every element
+// encodes to at least one byte). That bound is per-byte, not per-element:
+// decoders of multi-byte elements must clamp the count before using it as
+// a pre-allocation capacity, or a corrupt count amplifies into an
+// oversized up-front allocation.
+func (r *Reader) Count() (n int, isNil bool) {
+	v := r.Uvarint()
+	if v == 0 || r.err != nil {
+		return 0, true
+	}
+	v--
+	if v > uint64(r.Len()) {
+		r.err = ErrTruncated
+		return 0, true
+	}
+	return int(v), false
+}
+
+// Close marks the end of a message: any trailing bytes are an error.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Len() != 0 {
+		r.err = ErrTrailing
+	}
+	return r.err
+}

@@ -1,0 +1,187 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, math.MaxUint64)
+	b = AppendVarint(b, -1)
+	b = AppendVarint(b, math.MinInt64)
+	b = AppendVarint(b, math.MaxInt64)
+	b = AppendByte(b, 0xAB)
+	b = AppendString(b, "")
+	b = AppendString(b, "hello, 世界")
+	b = AppendBytes(b, nil)
+	b = AppendBytes(b, []byte{})
+	b = AppendBytes(b, []byte{1, 2, 3})
+
+	r := NewReader(b)
+	if v := r.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := r.Uvarint(); v != math.MaxUint64 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := r.Varint(); v != -1 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := r.Varint(); v != math.MinInt64 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := r.Varint(); v != math.MaxInt64 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := r.Byte(); v != 0xAB {
+		t.Fatalf("byte = %x", v)
+	}
+	if v := r.String(); v != "" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := r.String(); v != "hello, 世界" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := r.Bytes(); v != nil {
+		t.Fatalf("nil bytes = %v", v)
+	}
+	if v := r.Bytes(); v == nil || len(v) != 0 {
+		t.Fatalf("empty bytes = %v", v)
+	}
+	if v := r.Bytes(); !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("bytes = %v", v)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendCount(b, 0, true)
+	b = AppendCount(b, 0, false)
+	// Three one-byte elements so the count bound holds.
+	b = AppendCount(b, 3, false)
+	b = append(b, 1, 2, 3)
+
+	r := NewReader(b)
+	if n, isNil := r.Count(); !isNil || n != 0 {
+		t.Fatalf("nil count = %d,%v", n, isNil)
+	}
+	if n, isNil := r.Count(); isNil || n != 0 {
+		t.Fatalf("empty count = %d,%v", n, isNil)
+	}
+	if n, isNil := r.Count(); isNil || n != 3 {
+		t.Fatalf("count = %d,%v", n, isNil)
+	}
+}
+
+func TestReaderBoundsClaimedLengths(t *testing.T) {
+	// A claimed string length of 2^40 over 2 bytes of input must error,
+	// not allocate.
+	b := AppendUvarint(nil, 1<<40)
+	b = append(b, 'x', 'y')
+	r := NewReader(b)
+	if s := r.String(); s != "" || r.Err() == nil {
+		t.Fatalf("oversized string accepted: %q err=%v", s, r.Err())
+	}
+
+	// Same for a collection count.
+	b = AppendUvarint(nil, 1<<40)
+	r = NewReader(b)
+	if n, isNil := r.Count(); !isNil || n != 0 || r.Err() == nil {
+		t.Fatalf("oversized count accepted: %d err=%v", n, r.Err())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader(nil)
+	if r.Byte() != 0 || r.Err() == nil {
+		t.Fatal("read past end must set the error")
+	}
+	// Every later read stays zero-valued.
+	if r.Uvarint() != 0 || r.Varint() != 0 || r.String() != "" || r.Bytes() != nil {
+		t.Fatal("reads after error must return zero values")
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("Close must report the sticky error")
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.Byte()
+	if err := r.Close(); err != ErrTrailing {
+		t.Fatalf("Close = %v, want ErrTrailing", err)
+	}
+}
+
+// testMsg exercises the registry.
+type testMsg struct {
+	A uint64
+	B string
+	C []byte
+}
+
+func init() {
+	Register[testMsg](TTestB,
+		func(dst []byte, m testMsg) []byte {
+			dst = AppendUvarint(dst, m.A)
+			dst = AppendString(dst, m.B)
+			return AppendBytes(dst, m.C)
+		},
+		func(r *Reader) (testMsg, error) {
+			var m testMsg
+			m.A = r.Uvarint()
+			m.B = r.String()
+			m.C = r.Bytes()
+			return m, r.Err()
+		})
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	in := testMsg{A: 42, B: "x", C: []byte{9}}
+	b, err := Marshal(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(testMsg)
+	if !ok || got.A != in.A || got.B != in.B || !bytes.Equal(got.C, in.C) {
+		t.Fatalf("got %#v, want %#v", out, in)
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	type never struct{ X int }
+	if _, err := Marshal(nil, never{}); err == nil {
+		t.Fatal("marshal of unregistered type should fail")
+	}
+	if !Registered(testMsg{}) || Registered(never{}) {
+		t.Fatal("Registered wrong")
+	}
+	if _, err := UnmarshalBytes([]byte{0x7F}); err == nil {
+		t.Fatal("unknown type id accepted")
+	}
+	if _, err := UnmarshalBytes(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// FuzzUnmarshalNoPanic feeds arbitrary bytes through the registry decoder:
+// it must reject or accept, never panic or over-allocate.
+func FuzzUnmarshalNoPanic(f *testing.F) {
+	seed, _ := Marshal(nil, testMsg{A: 7, B: "seed", C: []byte{1, 2}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{byte(TTestB), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = UnmarshalBytes(data)
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/fd"
 	"repro/internal/ident"
 	"repro/internal/transport"
@@ -69,7 +70,28 @@ type Msg struct {
 	Ts       int // estimate timestamp (rounds); meaningful for estimates
 }
 
-func init() { gob.Register(Msg{}) }
+func init() {
+	gob.Register(Msg{}) // legacy CodecGob transport mode
+	codec.Register[Msg](codec.TConsensusMsg, appendMsg, readMsg)
+}
+
+func appendMsg(dst []byte, m Msg) []byte {
+	dst = codec.AppendString(dst, m.Instance)
+	dst = codec.AppendVarint(dst, int64(m.Round))
+	dst = codec.AppendByte(dst, byte(m.Type))
+	dst = codec.AppendBytes(dst, m.Value)
+	return codec.AppendVarint(dst, int64(m.Ts))
+}
+
+func readMsg(r *codec.Reader) (Msg, error) {
+	var m Msg
+	m.Instance = r.String()
+	m.Round = int(r.Varint())
+	m.Type = msgType(r.Byte())
+	m.Value = r.Bytes()
+	m.Ts = int(r.Varint())
+	return m, r.Err()
+}
 
 // Service multiplexes consensus instances over one endpoint.
 type Service struct {

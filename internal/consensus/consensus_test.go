@@ -3,10 +3,12 @@ package consensus
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/fd"
 	"repro/internal/ident"
 	"repro/internal/transport"
@@ -269,5 +271,29 @@ func TestConsensusContextCancel(t *testing.T) {
 	_, err := h.svcs[h.pids[0]].Propose(ctx, "lonely", h.pids, []byte("v"))
 	if err == nil {
 		t.Fatal("cancelled propose should fail")
+	}
+}
+
+// TestMsgCodecRoundTrip pins the binary encoding of the consensus wire
+// message, including nil vs empty values.
+func TestMsgCodecRoundTrip(t *testing.T) {
+	cases := []Msg{
+		{},
+		{Instance: "svs-view/3", Round: 2, Type: msgPropose, Value: []byte("v"), Ts: 1},
+		{Instance: "i", Type: msgDecide, Value: []byte{}},
+		{Instance: "i", Round: 1 << 30, Type: msgNack, Ts: 1 << 30},
+	}
+	for _, m := range cases {
+		b, err := codec.Marshal(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := codec.UnmarshalBytes(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out, m) {
+			t.Fatalf("got %#v, want %#v", out, m)
+		}
 	}
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// roundTrip marshals m through the registry and requires the decoded
+// value to be deeply equal — including nil vs empty distinctions that
+// gob papered over.
+func roundTrip(t *testing.T, m any) {
+	t.Helper()
+	b, err := codec.Marshal(nil, m)
+	if err != nil {
+		t.Fatalf("marshal %#v: %v", m, err)
+	}
+	out, err := codec.UnmarshalBytes(b)
+	if err != nil {
+		t.Fatalf("unmarshal %#v: %v", m, err)
+	}
+	if !reflect.DeepEqual(out, m) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", out, m)
+	}
+}
+
+// TestCodecWireRoundTripEdgeCases pins the cases the issue calls out:
+// nil payloads, empty pred sets, zero-member views, nil vs empty
+// everywhere.
+func TestCodecWireRoundTripEdgeCases(t *testing.T) {
+	cases := []any{
+		DataMsg{},
+		DataMsg{View: 3, Meta: obsolete.Msg{Sender: "p", Seq: 1}, Payload: nil},
+		DataMsg{View: 3, Meta: obsolete.Msg{Sender: "p", Seq: 2, Annot: []byte{}}, Payload: []byte{}},
+		InitMsg{},
+		InitMsg{View: 9, Leave: []ident.PID{}},
+		InitMsg{View: 9, Leave: []ident.PID{"a", "b"}},
+		PredMsg{},
+		PredMsg{View: 4, Msgs: []DataMsg{}},
+		PredMsg{View: 4, Msgs: []DataMsg{{View: 4, Meta: obsolete.Msg{Sender: "q", Seq: 7, Annot: []byte{1}}, Payload: []byte("x")}}},
+		CreditMsg{},
+		CreditMsg{View: 2, Credits: -3},
+		CreditMsg{View: 2, Credits: 1 << 30},
+		StableMsg{},
+		StableMsg{View: 5, Recv: map[ident.PID]ident.Seq{}},
+		StableMsg{View: 5, Recv: map[ident.PID]ident.Seq{"a": 1, "b": 99}},
+	}
+	for _, m := range cases {
+		roundTrip(t, m)
+	}
+}
+
+// TestConsensusValueZeroMemberView: an encoded decision may carry a view
+// with no members at all (everyone left); the codec must not conflate it
+// with a missing view.
+func TestConsensusValueZeroMemberView(t *testing.T) {
+	for _, val := range []consensusValue{
+		{},
+		{Next: View{ID: 8, Members: ident.NewPIDs()}},
+		{Next: View{ID: 8}, Pred: []DataMsg{}},
+	} {
+		raw, err := encodeValue(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeValue(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, val) {
+			t.Fatalf("got %#v, want %#v", got, val)
+		}
+	}
+}
+
+// FuzzCodecRoundTrip builds every wire type from fuzzed fields and
+// asserts decode(encode(x)) == x exactly.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add("p1", uint64(1), uint64(1), []byte{1, 2}, []byte("payload"), "p2", int64(3), false)
+	f.Add("", uint64(0), uint64(0), []byte(nil), []byte(nil), "", int64(0), true)
+	f.Add("sender/with/slash", uint64(1<<40), uint64(1<<50), []byte{}, []byte{}, "x", int64(-1), false)
+	f.Fuzz(func(t *testing.T, sender string, view, seq uint64, annot, payload []byte, peer string, credits int64, nils bool) {
+		meta := obsolete.Msg{Sender: ident.PID(sender), Seq: ident.Seq(seq), Annot: annot}
+		dm := DataMsg{View: ident.ViewID(view), Meta: meta, Payload: payload}
+		roundTrip(t, dm)
+
+		init := InitMsg{View: ident.ViewID(view)}
+		pred := PredMsg{View: ident.ViewID(view)}
+		stable := StableMsg{View: ident.ViewID(view)}
+		if !nils {
+			init.Leave = []ident.PID{ident.PID(peer), ident.PID(sender)}
+			pred.Msgs = []DataMsg{dm, {View: dm.View}}
+			stable.Recv = map[ident.PID]ident.Seq{
+				ident.PID(sender): ident.Seq(seq),
+				ident.PID(peer):   ident.Seq(view),
+			}
+		}
+		roundTrip(t, init)
+		roundTrip(t, pred)
+		roundTrip(t, stable)
+		roundTrip(t, CreditMsg{View: ident.ViewID(view), Credits: int(credits)})
+
+		val := consensusValue{Next: View{ID: ident.ViewID(view)}}
+		if !nils {
+			val.Next.Members = ident.NewPIDs(ident.PID(sender), ident.PID(peer))
+			val.Pred = []DataMsg{dm}
+		}
+		raw, err := encodeValue(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeValue(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, val) {
+			t.Fatalf("consensus value mismatch:\n got %#v\nwant %#v", got, val)
+		}
+	})
+}
+
+// FuzzDecodeValueNoPanic hardens the consensus value decoder against
+// arbitrary bytes arriving from a faulty peer.
+func FuzzDecodeValueNoPanic(f *testing.F) {
+	good, _ := encodeValue(consensusValue{
+		Next: View{ID: 2, Members: ident.NewPIDs("a", "b")},
+		Pred: []DataMsg{{View: 1, Meta: obsolete.Msg{Sender: "a", Seq: 1}}},
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("not gob"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeValue(data)
+	})
+}
+
+// TestDecodeBoundsHostileCounts: a PredMsg claiming ~1M entries whose
+// element data is garbage must fail cheaply. The count passes the
+// codec's byte-level bound (1M bytes follow it), so without a capacity
+// clamp the decoder would pre-allocate count × sizeof(DataMsg) ≈ 80 MB
+// before looking at a single element.
+func TestDecodeBoundsHostileCounts(t *testing.T) {
+	const claimed = 1 << 20
+	hostile := codec.AppendByte(nil, byte(codec.TPredMsg))
+	hostile = codec.AppendUvarint(hostile, 1)         // view
+	hostile = codec.AppendUvarint(hostile, claimed+1) // claims 1M DataMsgs
+	// 1 MiB of 0xFF: satisfies the byte bound, but the first element's
+	// view field is an over-long varint, so decoding fails immediately.
+	filler := make([]byte, claimed)
+	for i := range filler {
+		filler[i] = 0xFF
+	}
+	hostile = append(hostile, filler...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := codec.UnmarshalBytes(hostile); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 10<<20 {
+		t.Fatalf("hostile count drove %d bytes of allocation", grew)
+	}
+}

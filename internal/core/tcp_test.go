@@ -15,11 +15,27 @@ import (
 
 // TestGroupOverTCP runs a full group — engines, heartbeat failure
 // detectors, consensus — over real TCP sockets on localhost: multicast
-// with purging semantics, then a view change.
+// with purging semantics, then a view change. It runs once per wire
+// codec: the batching binary codec (default) and the legacy gob fallback
+// must each interoperate with themselves.
 func TestGroupOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP integration skipped in -short mode")
 	}
+	for _, tc := range []struct {
+		name string
+		c    transport.Codec
+	}{
+		{"binary", transport.CodecBinary},
+		{"gob", transport.CodecGob},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			groupOverTCP(t, transport.TCPOptions{Codec: tc.c})
+		})
+	}
+}
+
+func groupOverTCP(t *testing.T, opts transport.TCPOptions) {
 	pids := ident.NewPIDs("t0", "t1", "t2")
 	view := View{ID: 1, Members: pids}
 	rel := obsolete.KEnumeration{K: 32}
@@ -27,7 +43,7 @@ func TestGroupOverTCP(t *testing.T) {
 	// Bootstrap: listen first, exchange addresses, then start engines.
 	nets := make(map[ident.PID]*transport.TCPNetwork, len(pids))
 	for _, p := range pids {
-		n, err := transport.NewTCPNetwork(p, "127.0.0.1:0", nil)
+		n, err := transport.NewTCPNetworkOpts(p, "127.0.0.1:0", nil, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

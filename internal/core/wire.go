@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/ident"
 	"repro/internal/obsolete"
 )
@@ -44,11 +46,155 @@ type CreditMsg struct {
 }
 
 func init() {
+	// gob registration is kept for one release so TCPNetwork's CodecGob
+	// fallback still works; the binary codec below is the default path.
 	gob.Register(DataMsg{})
 	gob.Register(InitMsg{})
 	gob.Register(PredMsg{})
 	gob.Register(CreditMsg{})
+
+	codec.Register[DataMsg](codec.TDataMsg, appendDataMsg, readDataMsgStrict)
+	codec.Register[InitMsg](codec.TInitMsg, appendInitMsg, readInitMsg)
+	codec.Register[PredMsg](codec.TPredMsg, appendPredMsg, readPredMsg)
+	codec.Register[CreditMsg](codec.TCreditMsg, appendCreditMsg, readCreditMsg)
+	codec.Register[StableMsg](codec.TStableMsg, appendStableMsg, readStableMsg)
 }
+
+// ---- binary encoders (internal/codec) --------------------------------------
+
+// capHint clamps a wire-supplied element count before it becomes a
+// pre-allocation: Reader.Count bounds counts in *bytes* of remaining
+// input, but our elements are multi-byte structs, so a corrupt count
+// could otherwise demand an ~80x amplified up-front allocation. Slices
+// and maps grow past the hint naturally; truncated input still fails at
+// the first missing element.
+func capHint(n int) int {
+	const max = 1024
+	if n > max {
+		return max
+	}
+	return n
+}
+
+func appendDataMsg(dst []byte, m DataMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendString(dst, string(m.Meta.Sender))
+	dst = codec.AppendUvarint(dst, uint64(m.Meta.Seq))
+	dst = codec.AppendBytes(dst, m.Meta.Annot)
+	return codec.AppendBytes(dst, m.Payload)
+}
+
+func readDataMsg(r *codec.Reader) DataMsg {
+	var m DataMsg
+	m.View = ident.ViewID(r.Uvarint())
+	m.Meta.Sender = ident.PID(r.String())
+	m.Meta.Seq = ident.Seq(r.Uvarint())
+	m.Meta.Annot = r.Bytes()
+	m.Payload = r.Bytes()
+	return m
+}
+
+func readDataMsgStrict(r *codec.Reader) (DataMsg, error) {
+	m := readDataMsg(r)
+	return m, r.Err()
+}
+
+func appendInitMsg(dst []byte, m InitMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendCount(dst, len(m.Leave), m.Leave == nil)
+	for _, p := range m.Leave {
+		dst = codec.AppendString(dst, string(p))
+	}
+	return dst
+}
+
+func readInitMsg(r *codec.Reader) (InitMsg, error) {
+	var m InitMsg
+	m.View = ident.ViewID(r.Uvarint())
+	if n, isNil := r.Count(); !isNil {
+		m.Leave = make([]ident.PID, 0, capHint(n))
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Leave = append(m.Leave, ident.PID(r.String()))
+		}
+	}
+	return m, r.Err()
+}
+
+func appendPredMsg(dst []byte, m PredMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	return appendDataMsgs(dst, m.Msgs)
+}
+
+func readPredMsg(r *codec.Reader) (PredMsg, error) {
+	var m PredMsg
+	m.View = ident.ViewID(r.Uvarint())
+	m.Msgs = readDataMsgs(r)
+	return m, r.Err()
+}
+
+func appendDataMsgs(dst []byte, msgs []DataMsg) []byte {
+	dst = codec.AppendCount(dst, len(msgs), msgs == nil)
+	for _, dm := range msgs {
+		dst = appendDataMsg(dst, dm)
+	}
+	return dst
+}
+
+func readDataMsgs(r *codec.Reader) []DataMsg {
+	n, isNil := r.Count()
+	if isNil {
+		return nil
+	}
+	out := make([]DataMsg, 0, capHint(n))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, readDataMsg(r))
+	}
+	return out
+}
+
+func appendCreditMsg(dst []byte, m CreditMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	return codec.AppendVarint(dst, int64(m.Credits))
+}
+
+func readCreditMsg(r *codec.Reader) (CreditMsg, error) {
+	var m CreditMsg
+	m.View = ident.ViewID(r.Uvarint())
+	m.Credits = int(r.Varint())
+	return m, r.Err()
+}
+
+// appendStableMsg encodes the frontier map with sorted keys so the
+// encoding is deterministic across processes.
+func appendStableMsg(dst []byte, m StableMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendCount(dst, len(m.Recv), m.Recv == nil)
+	keys := make([]ident.PID, 0, len(m.Recv))
+	for p := range m.Recv {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, p := range keys {
+		dst = codec.AppendString(dst, string(p))
+		dst = codec.AppendUvarint(dst, uint64(m.Recv[p]))
+	}
+	return dst
+}
+
+func readStableMsg(r *codec.Reader) (StableMsg, error) {
+	var m StableMsg
+	m.View = ident.ViewID(r.Uvarint())
+	if n, isNil := r.Count(); !isNil {
+		m.Recv = make(map[ident.PID]ident.Seq, capHint(n))
+		for i := 0; i < n && r.Err() == nil; i++ {
+			p := ident.PID(r.String())
+			m.Recv[p] = ident.Seq(r.Uvarint())
+		}
+	}
+	return m, r.Err()
+}
+
+// ---- consensus value -------------------------------------------------------
 
 // consensusValue is the pair agreed by the view-change consensus: the next
 // view and the flush set (pred-view) to deliver before installing it.
@@ -57,18 +203,55 @@ type consensusValue struct {
 	Pred []DataMsg
 }
 
+// valueFormat versions the consensus value encoding; bumping it rejects
+// payloads from incompatible releases instead of mis-decoding them.
+const valueFormat byte = 1
+
 func encodeValue(v consensusValue) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("core: encode consensus value: %w", err)
+	dst := make([]byte, 0, 64+32*len(v.Pred))
+	dst = codec.AppendByte(dst, valueFormat)
+	dst = codec.AppendUvarint(dst, uint64(v.Next.ID))
+	dst = codec.AppendCount(dst, len(v.Next.Members), v.Next.Members == nil)
+	for _, p := range v.Next.Members {
+		dst = codec.AppendString(dst, string(p))
 	}
-	return buf.Bytes(), nil
+	return appendDataMsgs(dst, v.Pred), nil
 }
 
 func decodeValue(p []byte) (consensusValue, error) {
+	r := codec.NewReader(p)
+	if f := r.Byte(); r.Err() == nil && f != valueFormat {
+		// Robustness fallback, kept one release alongside CodecGob: accept
+		// a value still encoded with gob (gob's first segment never starts
+		// with our format byte for these payloads). Encoding is always
+		// binary, so this does not make mixed-version groups supported.
+		if v, err := decodeValueGob(p); err == nil {
+			return v, nil
+		}
+		return consensusValue{}, fmt.Errorf("core: decode consensus value: unknown format %d", f)
+	}
+	var v consensusValue
+	v.Next.ID = ident.ViewID(r.Uvarint())
+	if n, isNil := r.Count(); !isNil {
+		members := make([]ident.PID, 0, capHint(n))
+		for i := 0; i < n && r.Err() == nil; i++ {
+			members = append(members, ident.PID(r.String()))
+		}
+		v.Next.Members = ident.PIDs(members)
+	}
+	v.Pred = readDataMsgs(r)
+	if err := r.Close(); err != nil {
+		return consensusValue{}, fmt.Errorf("core: decode consensus value: %w", err)
+	}
+	return v, nil
+}
+
+// decodeValueGob is the previous release's gob decoding of consensus
+// values; it goes away when CodecGob does.
+func decodeValueGob(p []byte) (consensusValue, error) {
 	var v consensusValue
 	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v); err != nil {
-		return consensusValue{}, fmt.Errorf("core: decode consensus value: %w", err)
+		return consensusValue{}, err
 	}
 	return v, nil
 }

@@ -111,3 +111,24 @@ func TestViewHelpers(t *testing.T) {
 		t.Fatal("DeliveryKind.String wrong")
 	}
 }
+
+// TestDecodeValueGobFallback: during the one-release gob migration
+// window, a consensus value encoded by the previous (gob) release must
+// still decode.
+func TestDecodeValueGobFallback(t *testing.T) {
+	val := consensusValue{
+		Next: View{ID: 7, Members: ident.NewPIDs("a", "b")},
+		Pred: []DataMsg{{View: 6, Meta: obsolete.Msg{Sender: "a", Seq: 1, Annot: []byte{1}}, Payload: []byte("x")}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeValue(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Next.ID != val.Next.ID || !got.Next.Members.Equal(val.Next.Members) || len(got.Pred) != 1 {
+		t.Fatalf("got %+v, want %+v", got, val)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/ident"
 	"repro/internal/transport"
 )
@@ -12,7 +13,12 @@ import (
 // Beat is the heartbeat wire message.
 type Beat struct{}
 
-func init() { gob.Register(Beat{}) }
+func init() {
+	gob.Register(Beat{}) // legacy CodecGob transport mode
+	codec.Register[Beat](codec.TBeat,
+		func(dst []byte, _ Beat) []byte { return dst },
+		func(_ *codec.Reader) (Beat, error) { return Beat{}, nil })
+}
 
 // HeartbeatOptions configures the heartbeat detector.
 type HeartbeatOptions struct {

@@ -1,0 +1,421 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/ident"
+)
+
+// The tests in this file pin the crash-stop close contract of every
+// endpoint implementation: Close is safe under double/concurrent close
+// and concurrent Send, and no envelope is delivered after Close returns.
+
+func TestUBQConcurrentClose(t *testing.T) {
+	q := newUBQ()
+	q.push(Envelope{From: "x"})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.close()
+		}()
+	}
+	wg.Wait()
+	// Every close call returned only after the pump exited: the out
+	// channel must already be closed.
+	select {
+	case _, ok := <-q.out:
+		if ok {
+			t.Fatal("envelope emitted after close returned")
+		}
+	default:
+		t.Fatal("out channel not closed after close returned")
+	}
+	q.push(Envelope{From: "y"}) // must be a no-op, not a panic
+}
+
+func TestMemEndpointDoubleClose(t *testing.T) {
+	n := NewMemNetwork()
+	ep, err := n.Endpoint("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ep.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ep.Send("p", Data, 1); err == nil {
+		t.Fatal("send after close should fail")
+	}
+}
+
+// TestMemEndpointNoDeliveryAfterClose hammers a receiver with sends while
+// it closes; once Close has returned, its inboxes must be silent.
+func TestMemEndpointNoDeliveryAfterClose(t *testing.T) {
+	n := NewMemNetwork()
+	rcv, err := n.Endpoint("rcv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := n.Endpoint("snd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+
+	in := rcv.Inbox(Data)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = snd.Send("rcv", Data, 1)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(5 * time.Millisecond) // let traffic flow
+	if err := rcv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close returned the pump has exited: the only thing left to
+	// observe on the inbox is its closure.
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-in:
+			if !ok {
+				close(stop)
+				wg.Wait()
+				return
+			}
+			t.Fatal("envelope delivered after Close returned")
+		case <-deadline:
+			t.Fatal("inbox never closed")
+		}
+	}
+}
+
+func TestTCPNetworkConcurrentClose(t *testing.T) {
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewTCPNetworkOpts("a", "127.0.0.1:0", nil, TCPOptions{Codec: tc.c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := a.Close(); err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestTCPNetworkSendDuringClose closes an endpoint while senders hammer
+// it from both sides: no panic, sends eventually fail, and the receiver's
+// inboxes are silent after Close returns.
+func TestTCPNetworkSendDuringClose(t *testing.T) {
+	a, b := tcpPair(t)
+	in := a.Inbox(Data)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = b.Send("a", Data, tcpPayload{N: 1})
+					_ = a.Send("b", Data, tcpPayload{N: 2})
+				}
+			}
+		}()
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-in:
+			if !ok {
+				close(stop)
+				wg.Wait()
+				if err := a.Send("b", Data, tcpPayload{}); err == nil {
+					t.Fatal("send on closed endpoint should fail")
+				}
+				return
+			}
+			t.Fatal("envelope delivered after Close returned")
+		case <-deadline:
+			t.Fatal("inbox never closed")
+		}
+	}
+}
+
+// pipeNetwork builds a bare TCPNetwork and peerConn over a synchronous
+// net.Pipe for deterministic white-box tests of the batch writer.
+func pipeNetwork(maxFrame int) (*TCPNetwork, *peerConn, net.Conn) {
+	c1, c2 := net.Pipe()
+	n := &TCPNetwork{
+		self:      "a",
+		opts:      TCPOptions{MaxFrame: maxFrame},
+		fromEnc:   codec.AppendString(nil, "a"),
+		closeDone: make(chan struct{}),
+		conns:     make(map[ident.PID]*peerConn),
+	}
+	n.maxBody = maxFrame - len(n.fromEnc)
+	pc := newPeerConn(c1, CodecBinary, &n.bytesSent)
+	return n, pc, c2
+}
+
+// readFrames decodes frames off raw until count envelopes arrived,
+// returning per-frame envelope payloads.
+func readFrames(t *testing.T, raw net.Conn, maxFrame, count int) [][]tcpPayload {
+	t.Helper()
+	br := bufio.NewReader(raw)
+	var frames [][]tcpPayload
+	total := 0
+	for total < count {
+		flen, err := binary.ReadUvarint(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flen > uint64(maxFrame) {
+			t.Fatalf("frame of %d bytes exceeds MaxFrame %d", flen, maxFrame)
+		}
+		frame := make([]byte, flen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			t.Fatal(err)
+		}
+		r := codec.NewReader(frame)
+		if from := r.String(); from != "a" {
+			t.Fatalf("frame sender = %q, want a", from)
+		}
+		var envs []tcpPayload
+		for r.Len() > 0 {
+			if ch := Channel(r.Byte()); ch != Data {
+				t.Fatalf("channel = %d, want %d", ch, Data)
+			}
+			msg, err := codec.Unmarshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs = append(envs, msg.(tcpPayload))
+			total++
+		}
+		frames = append(frames, envs)
+	}
+	return frames
+}
+
+// TestWriteLoopCoalescesBacklog drives the batch writer deterministically:
+// envelopes enqueued before the writer starts must leave in one frame.
+func TestWriteLoopCoalescesBacklog(t *testing.T) {
+	n, pc, raw := pipeNetwork(defaultMaxFrame)
+	defer raw.Close()
+
+	const count = 50
+	for i := 0; i < count; i++ {
+		if err := n.enqueue("b", pc, Data, tcpPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.wg.Add(1)
+	go n.writeLoop("b", pc)
+	defer func() {
+		pc.close()
+		n.wg.Wait()
+	}()
+
+	frames := readFrames(t, raw, defaultMaxFrame, count)
+	if len(frames) != 1 {
+		t.Fatalf("backlog left in %d frames, want 1", len(frames))
+	}
+	for i, p := range frames[0] {
+		if p.N != i {
+			t.Fatalf("envelope %d out of order: %+v", i, p)
+		}
+	}
+}
+
+// TestWriteLoopChunksAtMaxFrame: a drained backlog larger than MaxFrame
+// must be split at envelope boundaries, never exceeding the frame limit
+// the receiver enforces.
+func TestWriteLoopChunksAtMaxFrame(t *testing.T) {
+	const maxFrame = 256
+	n, pc, raw := pipeNetwork(maxFrame)
+	defer raw.Close()
+
+	payload := string(make([]byte, 40)) // ~45 B per envelope encoded
+	const count = 40                    // ~1.8 KiB backlog >> 256 B frames
+	for i := 0; i < count; i++ {
+		if err := n.enqueue("b", pc, Data, tcpPayload{N: i, S: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.wg.Add(1)
+	go n.writeLoop("b", pc)
+	defer func() {
+		pc.close()
+		n.wg.Wait()
+	}()
+
+	frames := readFrames(t, raw, maxFrame, count)
+	if len(frames) < 2 {
+		t.Fatalf("oversized backlog left in %d frames, want several", len(frames))
+	}
+	seen := 0
+	for _, envs := range frames {
+		for _, p := range envs {
+			if p.N != seen {
+				t.Fatalf("envelope %d out of order: %+v", seen, p)
+			}
+			seen++
+		}
+	}
+	if seen != count {
+		t.Fatalf("got %d envelopes, want %d", seen, count)
+	}
+}
+
+// TestSendRejectsOversizedMessage: a single message that cannot fit any
+// frame is refused synchronously instead of poisoning the connection.
+func TestSendRejectsOversizedMessage(t *testing.T) {
+	a, b := tcpPairOpts(t, TCPOptions{MaxFrame: 128})
+	big := tcpPayload{S: string(make([]byte, 4096))}
+	if err := a.Send("b", Data, big); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+	// The connection survives and small messages still flow.
+	if err := a.Send("b", Data, tcpPayload{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, b.Inbox(Data)); env.Msg.(tcpPayload).N != 5 {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+// TestNewTCPNetworkRejectsUnknownCodec: an invalid codec must fail fast
+// instead of silently black-holing traffic.
+func TestNewTCPNetworkRejectsUnknownCodec(t *testing.T) {
+	if _, err := NewTCPNetworkOpts("x", "127.0.0.1:0", nil, TCPOptions{Codec: Codec(9)}); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+}
+
+// TestGobCloseUnblocksStuckSend: a gob-mode Send blocked mid-write holds
+// pc.mu; close must shut the socket first (not lock first), or Close
+// deadlocks behind the stuck writer.
+func TestGobCloseUnblocksStuckSend(t *testing.T) {
+	c1, c2 := net.Pipe() // synchronous: Encode blocks until the far end reads
+	defer c2.Close()
+	n := &TCPNetwork{
+		self:      "a",
+		opts:      TCPOptions{Codec: CodecGob, MaxFrame: defaultMaxFrame},
+		fromEnc:   codec.AppendString(nil, "a"),
+		closeDone: make(chan struct{}),
+		conns:     make(map[ident.PID]*peerConn),
+	}
+	n.maxBody = n.opts.MaxFrame - len(n.fromEnc)
+	pc := newPeerConn(c1, CodecGob, &n.bytesSent)
+	n.conns["b"] = pc
+
+	errC := make(chan error, 1)
+	go func() { errC <- n.Send("b", Data, tcpPayload{N: 1}) }()
+	time.Sleep(20 * time.Millisecond) // let Send block inside Encode, holding pc.mu
+
+	done := make(chan struct{})
+	go func() {
+		pc.close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("peerConn.close deadlocked behind a blocked gob Send")
+	}
+	select {
+	case err := <-errC:
+		if err == nil {
+			t.Fatal("blocked send should fail once the conn closes")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked gob Send never unblocked")
+	}
+}
+
+// TestReadLoopRejectsBogusChannel: an envelope carrying an undefined
+// channel byte is a protocol violation — the connection drops and no
+// orphan inbox is created for a channel nothing consumes.
+func TestReadLoopRejectsBogusChannel(t *testing.T) {
+	a, err := NewTCPNetwork("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A well-formed frame whose envelope names channel 77.
+	body := codec.AppendString(nil, "evil")
+	body = codec.AppendByte(body, 77)
+	body, err = codec.Marshal(body, tcpPayload{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(body)))
+	frame = append(frame, body...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("bogus channel not rejected")
+	}
+	a.mu.Lock()
+	_, orphan := a.inboxes[Channel(77)]
+	a.mu.Unlock()
+	if orphan {
+		t.Fatal("orphan inbox created for bogus channel")
+	}
+}

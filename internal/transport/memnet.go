@@ -82,10 +82,11 @@ func (n *MemNetwork) Endpoint(p ident.PID) (*MemEndpoint, error) {
 		return nil, fmt.Errorf("transport: endpoint %q already attached", p)
 	}
 	ep := &MemEndpoint{
-		net:     n,
-		self:    p,
-		inboxes: make(map[Channel]*ubq, numChannels),
-		links:   make(map[link]*pacedLink),
+		net:       n,
+		self:      p,
+		closeDone: make(chan struct{}),
+		inboxes:   make(map[Channel]*ubq, numChannels),
+		links:     make(map[link]*pacedLink),
 	}
 	for _, ch := range Channels() {
 		ep.inboxes[ch] = newUBQ()
@@ -99,9 +100,10 @@ type MemEndpoint struct {
 	net  *MemNetwork
 	self ident.PID
 
-	mu      sync.Mutex
-	closed  bool
-	inboxes map[Channel]*ubq
+	mu        sync.Mutex
+	closed    bool
+	closeDone chan struct{}
+	inboxes   map[Channel]*ubq
 	// links holds the outgoing paced links (lazily created) when the
 	// network has a delay function installed.
 	links map[link]*pacedLink
@@ -194,7 +196,9 @@ func (e *MemEndpoint) deposit(ch Channel, env Envelope) {
 	}
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint: crash-stop shutdown. Concurrent or repeated
+// Close calls all block until the shutdown completes, and no envelope is
+// delivered from any inbox after Close returns.
 func (e *MemEndpoint) Close() error {
 	e.net.mu.Lock()
 	if e.net.eps[e.self] == e {
@@ -208,7 +212,9 @@ func (e *MemEndpoint) Close() error {
 func (e *MemEndpoint) shutdown() {
 	e.mu.Lock()
 	if e.closed {
+		done := e.closeDone
 		e.mu.Unlock()
+		<-done // wait for the first closer to finish
 		return
 	}
 	e.closed = true
@@ -227,6 +233,7 @@ func (e *MemEndpoint) shutdown() {
 	for _, q := range inboxes {
 		q.close()
 	}
+	close(e.closeDone)
 }
 
 // pacedMsg is one message traversing a delayed link.

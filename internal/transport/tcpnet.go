@@ -1,45 +1,162 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/codec"
 	"repro/internal/ident"
 )
 
-// TCPNetwork implements Endpoint over real TCP connections with gob
-// encoding, so a group can span OS processes and machines. One TCP
-// connection is maintained per outgoing peer; TCP's in-order reliable
-// delivery provides the FIFO reliable channel of the system model for the
-// lifetime of the session (crash-stop: a broken connection is treated as
-// the peer's crash, there is no reconnect-and-replay).
-//
-// All concrete message types sent through the network must be registered
-// with encoding/gob (the protocol packages do so for their wire types).
-type TCPNetwork struct {
-	self ident.PID
-	ln   net.Listener
+// Codec selects the wire encoding of a TCPNetwork. Both ends of a group
+// must use the same codec; there is no on-the-wire negotiation.
+type Codec uint8
 
-	mu       sync.Mutex
-	closed   bool
-	peers    map[ident.PID]string
-	conns    map[ident.PID]*peerConn
-	accepted map[net.Conn]struct{}
-	inboxes  map[Channel]*ubq
-	wg       sync.WaitGroup
+const (
+	// CodecBinary is the hand-rolled binary encoding of internal/codec
+	// with per-peer frame batching: the send path drains the pending
+	// queue and coalesces every waiting envelope into one length-prefixed
+	// batch frame per write syscall. This is the default.
+	CodecBinary Codec = iota
+	// CodecGob is the legacy reflection-based encoding/gob stream,
+	// retained for one release as a same-version fallback: a group can
+	// opt back into gob framing if the binary codec misbehaves, but all
+	// members must run the same release and codec (mixed-version rolling
+	// upgrades are not supported — consensus values are always encoded
+	// in the binary format). Sends are synchronous and unbatched,
+	// exactly as before.
+	CodecGob
+)
+
+// TCPOptions tunes a TCPNetwork beyond the defaults.
+type TCPOptions struct {
+	// Codec selects the wire encoding (default CodecBinary).
+	Codec Codec
+	// MaxFrame bounds one batch frame in bytes: the writer chunks its
+	// coalesced batches to it, and a peer announcing a larger incoming
+	// frame is treated as faulty and its connection dropped. Like Codec
+	// it must agree across the whole group — a node configured to send
+	// larger frames than its peers accept gets dropped as faulty.
+	// 0 means the default of 16 MiB.
+	MaxFrame int
+}
+
+const defaultMaxFrame = 16 << 20
+
+// TCPStats counts wire activity since the network started. The ratio
+// EnvelopesSent/FramesSent is the achieved write-coalescing factor.
+type TCPStats struct {
+	FramesSent    uint64 // batch frames written (≈ syscalls on the send path)
+	EnvelopesSent uint64 // envelopes coalesced into those frames
+	BytesSent     uint64
+	FramesRecv    uint64
+	EnvelopesRecv uint64
+}
+
+// TCPNetwork implements Endpoint over real TCP connections, so a group can
+// span OS processes and machines. One TCP connection is maintained per
+// outgoing peer; TCP's in-order reliable delivery provides the FIFO
+// reliable channel of the system model for the lifetime of the session
+// (crash-stop: a broken connection is treated as the peer's crash, there
+// is no reconnect-and-replay, and Close drops whatever is still queued).
+//
+// With CodecBinary (the default) every wire type must be registered with
+// internal/codec; with CodecGob, with encoding/gob. The protocol packages
+// register their types with both.
+//
+// Binary wire format, per connection: a stream of batch frames
+//
+//	uvarint frameLen | frame body
+//
+// where the body is the sender PID (uvarint length + bytes) followed by
+// one or more envelopes, each
+//
+//	channel byte | TypeID byte | message encoding
+//
+// decoded back-to-back until the frame is exhausted. A decode error is a
+// protocol violation and closes the connection.
+type TCPNetwork struct {
+	self    ident.PID
+	opts    TCPOptions
+	ln      net.Listener
+	fromEnc []byte // self PID pre-encoded for frame bodies
+	maxBody int    // MaxFrame minus the fromEnc prefix: envelope budget per frame
+
+	framesSent atomic.Uint64
+	envsSent   atomic.Uint64
+	bytesSent  atomic.Uint64
+	framesRecv atomic.Uint64
+	envsRecv   atomic.Uint64
+
+	mu        sync.Mutex
+	closed    bool
+	closeDone chan struct{}
+	peers     map[ident.PID]string
+	conns     map[ident.PID]*peerConn
+	accepted  map[net.Conn]struct{}
+	inboxes   map[Channel]*ubq
+	wg        sync.WaitGroup
 }
 
 var _ Endpoint = (*TCPNetwork)(nil)
 
+// peerConn is one outgoing connection. In binary mode Send appends the
+// encoded envelope to pend and a per-connection writer goroutine drains
+// pend into batch frames; in gob mode Send encodes synchronously under mu.
 type peerConn struct {
-	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
+	enc  *gob.Encoder // gob mode only
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	pend   []byte // encoded envelopes awaiting the writer (binary mode)
+	ends   []int  // end offset of each envelope in pend (frame chunking)
+	closed bool
 }
 
-// wireEnv is the on-the-wire envelope.
+func newPeerConn(conn net.Conn, c Codec, sent *atomic.Uint64) *peerConn {
+	pc := &peerConn{conn: conn}
+	pc.cond = sync.NewCond(&pc.mu)
+	if c == CodecGob {
+		pc.enc = gob.NewEncoder(countingWriter{w: conn, n: sent})
+	}
+	return pc
+}
+
+// countingWriter feeds the BytesSent counter on the gob path (the binary
+// writer counts at the frame level itself).
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(uint64(n))
+	return n, err
+}
+
+// close marks the connection dead and wakes its writer. Idempotent. The
+// socket is closed before taking pc.mu: a gob-mode Send blocked inside
+// Encode holds pc.mu for the duration of the socket write, so closing
+// the conn first is what unblocks it (locking first would deadlock).
+func (pc *peerConn) close() {
+	pc.conn.Close()
+	pc.mu.Lock()
+	if !pc.closed {
+		pc.closed = true
+		pc.cond.Broadcast()
+	}
+	pc.mu.Unlock()
+}
+
+// wireEnv is the on-the-wire envelope of the legacy gob stream.
 type wireEnv struct {
 	From ident.PID
 	Ch   Channel
@@ -47,20 +164,41 @@ type wireEnv struct {
 }
 
 // NewTCPNetwork starts listening on listenAddr and returns the endpoint
-// for self. peers maps every other group member to its listen address;
-// connections are dialed lazily on first send.
+// for self, using the default options (binary codec, batching). peers
+// maps every other group member to its listen address; connections are
+// dialed lazily on first send.
 func NewTCPNetwork(self ident.PID, listenAddr string, peers map[ident.PID]string) (*TCPNetwork, error) {
+	return NewTCPNetworkOpts(self, listenAddr, peers, TCPOptions{})
+}
+
+// NewTCPNetworkOpts is NewTCPNetwork with explicit options.
+func NewTCPNetworkOpts(self ident.PID, listenAddr string, peers map[ident.PID]string, opts TCPOptions) (*TCPNetwork, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
 	}
+	if opts.Codec != CodecBinary && opts.Codec != CodecGob {
+		ln.Close()
+		return nil, fmt.Errorf("transport: unknown codec %d", opts.Codec)
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = defaultMaxFrame
+	}
 	n := &TCPNetwork{
-		self:     self,
-		ln:       ln,
-		peers:    make(map[ident.PID]string, len(peers)),
-		conns:    make(map[ident.PID]*peerConn),
-		accepted: make(map[net.Conn]struct{}),
-		inboxes:  make(map[Channel]*ubq, numChannels),
+		self:      self,
+		opts:      opts,
+		ln:        ln,
+		fromEnc:   codec.AppendString(nil, string(self)),
+		closeDone: make(chan struct{}),
+		peers:     make(map[ident.PID]string, len(peers)),
+		conns:     make(map[ident.PID]*peerConn),
+		accepted:  make(map[net.Conn]struct{}),
+		inboxes:   make(map[Channel]*ubq, numChannels),
+	}
+	n.maxBody = opts.MaxFrame - len(n.fromEnc)
+	if n.maxBody <= 0 {
+		ln.Close()
+		return nil, fmt.Errorf("transport: MaxFrame %d leaves no room for envelopes", opts.MaxFrame)
 	}
 	for p, addr := range peers {
 		n.peers[p] = addr
@@ -88,6 +226,17 @@ func (n *TCPNetwork) AddPeer(p ident.PID, addr string) {
 // Self implements Endpoint.
 func (n *TCPNetwork) Self() ident.PID { return n.self }
 
+// Stats returns a snapshot of the wire counters.
+func (n *TCPNetwork) Stats() TCPStats {
+	return TCPStats{
+		FramesSent:    n.framesSent.Load(),
+		EnvelopesSent: n.envsSent.Load(),
+		BytesSent:     n.bytesSent.Load(),
+		FramesRecv:    n.framesRecv.Load(),
+		EnvelopesRecv: n.envsRecv.Load(),
+	}
+}
+
 // Inbox implements Endpoint.
 func (n *TCPNetwork) Inbox(ch Channel) <-chan Envelope {
 	n.mu.Lock()
@@ -100,7 +249,10 @@ func (n *TCPNetwork) Inbox(ch Channel) <-chan Envelope {
 	return q.out
 }
 
-// Send implements Endpoint.
+// Send implements Endpoint. In binary mode a successful Send means the
+// envelope is queued for the peer's writer; the actual write error, if
+// any, surfaces as the peer's crash (connection drop), matching the
+// crash-stop model.
 func (n *TCPNetwork) Send(to ident.PID, ch Channel, m any) error {
 	if to == n.self {
 		n.deposit(Envelope{From: n.self, Msg: m}, ch)
@@ -110,13 +262,122 @@ func (n *TCPNetwork) Send(to ident.PID, ch Channel, m any) error {
 	if err != nil {
 		return err
 	}
+	if n.opts.Codec == CodecGob {
+		pc.mu.Lock()
+		if pc.closed {
+			pc.mu.Unlock()
+			return fmt.Errorf("transport: send to %s: %w", to, net.ErrClosed)
+		}
+		err := pc.enc.Encode(wireEnv{From: n.self, Ch: ch, Msg: m})
+		pc.mu.Unlock()
+		if err != nil {
+			n.dropPeer(to, pc)
+			return fmt.Errorf("transport: send to %s: %w", to, err)
+		}
+		n.framesSent.Add(1)
+		n.envsSent.Add(1)
+		return nil
+	}
+	return n.enqueue(to, pc, ch, m)
+}
+
+// enqueue appends the encoded envelope to the peer's pending buffer and
+// wakes its writer. Encoding happens here, synchronously, so unregistered
+// types and oversized messages are reported to the caller; the write
+// syscall happens in the writer, coalesced with whatever else is pending.
+func (n *TCPNetwork) enqueue(to ident.PID, pc *peerConn, ch Channel, m any) error {
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if err := pc.enc.Encode(wireEnv{From: n.self, Ch: ch, Msg: m}); err != nil {
-		n.dropPeer(to, pc)
+	if pc.closed {
+		pc.mu.Unlock()
+		return fmt.Errorf("transport: send to %s: %w", to, net.ErrClosed)
+	}
+	start := len(pc.pend)
+	buf := codec.AppendByte(pc.pend, byte(ch))
+	buf, err := codec.Marshal(buf, m)
+	if err != nil {
+		pc.pend = buf[:start]
+		pc.mu.Unlock()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
+	if len(buf)-start > n.maxBody {
+		pc.pend = buf[:start]
+		pc.mu.Unlock()
+		return fmt.Errorf("transport: send to %s: message %T (%d bytes) exceeds MaxFrame %d",
+			to, m, len(buf)-start, n.opts.MaxFrame)
+	}
+	pc.pend = buf
+	pc.ends = append(pc.ends, len(buf))
+	pc.cond.Signal()
+	pc.mu.Unlock()
 	return nil
+}
+
+// writeLoop drains pc.pend, coalescing everything pending into batch
+// frames. The frame header, sender PID and body chunk go out in a single
+// writev (net.Buffers), so a burst of envelopes costs one syscall — but a
+// drained backlog larger than MaxFrame is split at envelope boundaries so
+// the receiver never sees an over-limit frame (enqueue guarantees every
+// single envelope fits).
+func (n *TCPNetwork) writeLoop(to ident.PID, pc *peerConn) {
+	defer n.wg.Done()
+	var spare, hdr []byte
+	var spareEnds []int
+	for {
+		pc.mu.Lock()
+		for len(pc.pend) == 0 && !pc.closed {
+			pc.cond.Wait()
+		}
+		if len(pc.pend) == 0 && pc.closed {
+			pc.mu.Unlock()
+			return
+		}
+		body := pc.pend
+		ends := pc.ends
+		pc.pend = spare[:0]
+		pc.ends = spareEnds[:0]
+		pc.mu.Unlock()
+
+		start, idx := 0, 0
+		for start < len(body) {
+			// Take as many whole envelopes as fit in one frame.
+			end, count := start, 0
+			for idx < len(ends) && ends[idx]-start <= n.maxBody {
+				end = ends[idx]
+				idx++
+				count++
+			}
+			if end == start { // cannot happen: enqueue bounds each envelope
+				end = ends[idx]
+				idx++
+				count++
+			}
+			chunk := body[start:end]
+			start = end
+
+			hdr = binary.AppendUvarint(hdr[:0], uint64(len(n.fromEnc)+len(chunk)))
+			bufs := net.Buffers{hdr, n.fromEnc, chunk}
+			total := len(hdr) + len(n.fromEnc) + len(chunk)
+			if _, err := bufs.WriteTo(pc.conn); err != nil {
+				n.dropPeer(to, pc)
+				return
+			}
+			n.framesSent.Add(1)
+			n.envsSent.Add(uint64(count))
+			n.bytesSent.Add(uint64(total))
+		}
+
+		// Reuse the drained buffers next round, but let one-off bursts go.
+		if cap(body) <= 1<<20 {
+			spare = body[:0]
+		} else {
+			spare = nil
+		}
+		if cap(ends) <= 1<<15 {
+			spareEnds = ends[:0]
+		} else {
+			spareEnds = nil
+		}
+	}
 }
 
 // peer returns the (possibly newly dialed) connection to p.
@@ -151,13 +412,17 @@ func (n *TCPNetwork) peer(p ident.PID) (*peerConn, error) {
 		conn.Close()
 		return pc, nil
 	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	pc := newPeerConn(conn, n.opts.Codec, &n.bytesSent)
 	n.conns[p] = pc
+	if n.opts.Codec == CodecBinary {
+		n.wg.Add(1)
+		go n.writeLoop(p, pc)
+	}
 	return pc, nil
 }
 
 func (n *TCPNetwork) dropPeer(p ident.PID, pc *peerConn) {
-	pc.conn.Close()
+	pc.close()
 	n.mu.Lock()
 	if n.conns[p] == pc {
 		delete(n.conns, p)
@@ -193,13 +458,65 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	if n.opts.Codec == CodecGob {
+		dec := gob.NewDecoder(conn)
+		for {
+			var we wireEnv
+			if err := dec.Decode(&we); err != nil {
+				return // connection closed or peer crashed
+			}
+			if !validChannel(we.Ch) {
+				return // protocol violation: treat the peer as faulty
+			}
+			n.framesRecv.Add(1)
+			n.envsRecv.Add(1)
+			n.deposit(Envelope{From: we.From, Msg: we.Msg}, we.Ch)
+		}
+	}
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var frame []byte
+	var r codec.Reader
 	for {
-		var we wireEnv
-		if err := dec.Decode(&we); err != nil {
+		flen, err := binary.ReadUvarint(br)
+		if err != nil {
 			return // connection closed or peer crashed
 		}
-		n.deposit(Envelope{From: we.From, Msg: we.Msg}, we.Ch)
+		if flen == 0 || flen > uint64(n.opts.MaxFrame) {
+			return // protocol violation: treat the peer as faulty
+		}
+		if uint64(cap(frame)) < flen {
+			frame = make([]byte, flen)
+		}
+		frame = frame[:flen]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return
+		}
+		n.framesRecv.Add(1)
+		r.Reset(frame)
+		from := ident.PID(r.String())
+		for r.Len() > 0 && r.Err() == nil {
+			ch := Channel(r.Byte())
+			if !validChannel(ch) {
+				// Protocol violation: a faulty peer could otherwise grow
+				// unbounded inboxes for channels nothing consumes.
+				return
+			}
+			msg, err := codec.Unmarshal(&r)
+			if err != nil {
+				return // mis-encoded or misaligned frame: drop the peer
+			}
+			n.envsRecv.Add(1)
+			n.deposit(Envelope{From: from, Msg: msg}, ch)
+		}
+		if r.Err() != nil {
+			return
+		}
+		// Reuse the frame buffer, but don't pin a one-off large frame for
+		// the connection's lifetime.
+		if cap(frame) > 1<<20 {
+			frame = nil
+		}
 	}
 }
 
@@ -217,11 +534,16 @@ func (n *TCPNetwork) deposit(env Envelope, ch Channel) {
 	}
 }
 
-// Close implements Endpoint.
+// Close implements Endpoint: crash-stop shutdown. Envelopes still queued
+// for peers are dropped, no envelope is delivered locally after Close
+// returns, and concurrent or repeated Close calls all block until the
+// shutdown completes.
 func (n *TCPNetwork) Close() error {
 	n.mu.Lock()
 	if n.closed {
+		done := n.closeDone
 		n.mu.Unlock()
+		<-done // wait for the first closer to finish
 		return nil
 	}
 	n.closed = true
@@ -242,7 +564,7 @@ func (n *TCPNetwork) Close() error {
 
 	n.ln.Close()
 	for _, pc := range conns {
-		pc.conn.Close()
+		pc.close()
 	}
 	for _, c := range accepted {
 		c.Close()
@@ -251,5 +573,6 @@ func (n *TCPNetwork) Close() error {
 	for _, q := range inboxes {
 		q.close()
 	}
+	close(n.closeDone)
 	return nil
 }

@@ -5,32 +5,54 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/ident"
 )
 
-// tcpPayload is a test wire type.
+// tcpPayload is a test wire type, registered with both codecs.
 type tcpPayload struct {
 	N int
 	S string
 }
 
-func init() { gob.Register(tcpPayload{}) }
+func init() {
+	gob.Register(tcpPayload{})
+	codec.Register[tcpPayload](codec.TTestA,
+		func(dst []byte, p tcpPayload) []byte {
+			dst = codec.AppendVarint(dst, int64(p.N))
+			return codec.AppendString(dst, p.S)
+		},
+		func(r *codec.Reader) (tcpPayload, error) {
+			var p tcpPayload
+			p.N = int(r.Varint())
+			p.S = r.String()
+			return p, r.Err()
+		})
+}
 
-func tcpPair(t *testing.T) (*TCPNetwork, *TCPNetwork) {
+// codecs parametrizes the suite over both wire encodings: each must
+// interoperate with itself.
+var codecs = []struct {
+	name string
+	c    Codec
+}{
+	{"binary", CodecBinary},
+	{"gob", CodecGob},
+}
+
+func tcpPairOpts(t *testing.T, opts TCPOptions) (*TCPNetwork, *TCPNetwork) {
 	t.Helper()
-	a, err := NewTCPNetwork("a", "127.0.0.1:0", nil)
+	a, err := NewTCPNetworkOpts("a", "127.0.0.1:0", nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewTCPNetwork("b", "127.0.0.1:0", map[ident.PID]string{"a": a.Addr()})
+	b, err := NewTCPNetworkOpts("b", "127.0.0.1:0", map[ident.PID]string{"a": a.Addr()}, opts)
 	if err != nil {
 		a.Close()
 		t.Fatal(err)
 	}
 	// Give a the route back to b.
-	a.mu.Lock()
-	a.peers["b"] = b.Addr()
-	a.mu.Unlock()
+	a.AddPeer("b", b.Addr())
 	t.Cleanup(func() {
 		a.Close()
 		b.Close()
@@ -38,48 +60,65 @@ func tcpPair(t *testing.T) (*TCPNetwork, *TCPNetwork) {
 	return a, b
 }
 
+func tcpPair(t *testing.T) (*TCPNetwork, *TCPNetwork) {
+	t.Helper()
+	return tcpPairOpts(t, TCPOptions{})
+}
+
 func TestTCPNetworkSendRecv(t *testing.T) {
-	a, b := tcpPair(t)
-	if err := a.Send("b", Data, tcpPayload{N: 7, S: "hi"}); err != nil {
-		t.Fatal(err)
-	}
-	env := recvOne(t, b.Inbox(Data))
-	p, ok := env.Msg.(tcpPayload)
-	if !ok || p.N != 7 || p.S != "hi" || env.From != "a" {
-		t.Fatalf("got %+v", env)
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tcpPairOpts(t, TCPOptions{Codec: tc.c})
+			if err := a.Send("b", Data, tcpPayload{N: 7, S: "hi"}); err != nil {
+				t.Fatal(err)
+			}
+			env := recvOne(t, b.Inbox(Data))
+			p, ok := env.Msg.(tcpPayload)
+			if !ok || p.N != 7 || p.S != "hi" || env.From != "a" {
+				t.Fatalf("got %+v", env)
+			}
+		})
 	}
 }
 
 func TestTCPNetworkBidirectional(t *testing.T) {
-	a, b := tcpPair(t)
-	if err := a.Send("b", Ctl, tcpPayload{N: 1}); err != nil {
-		t.Fatal(err)
-	}
-	if err := b.Send("a", Ctl, tcpPayload{N: 2}); err != nil {
-		t.Fatal(err)
-	}
-	if env := recvOne(t, b.Inbox(Ctl)); env.Msg.(tcpPayload).N != 1 {
-		t.Fatalf("b got %+v", env)
-	}
-	if env := recvOne(t, a.Inbox(Ctl)); env.Msg.(tcpPayload).N != 2 {
-		t.Fatalf("a got %+v", env)
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tcpPairOpts(t, TCPOptions{Codec: tc.c})
+			if err := a.Send("b", Ctl, tcpPayload{N: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Send("a", Ctl, tcpPayload{N: 2}); err != nil {
+				t.Fatal(err)
+			}
+			if env := recvOne(t, b.Inbox(Ctl)); env.Msg.(tcpPayload).N != 1 {
+				t.Fatalf("b got %+v", env)
+			}
+			if env := recvOne(t, a.Inbox(Ctl)); env.Msg.(tcpPayload).N != 2 {
+				t.Fatalf("a got %+v", env)
+			}
+		})
 	}
 }
 
 func TestTCPNetworkFIFO(t *testing.T) {
-	a, b := tcpPair(t)
-	const count = 300
-	for i := 0; i < count; i++ {
-		if err := a.Send("b", Data, tcpPayload{N: i}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	in := b.Inbox(Data)
-	for i := 0; i < count; i++ {
-		env := recvOne(t, in)
-		if env.Msg.(tcpPayload).N != i {
-			t.Fatalf("out of order: got %v want %d", env.Msg, i)
-		}
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tcpPairOpts(t, TCPOptions{Codec: tc.c})
+			const count = 300
+			for i := 0; i < count; i++ {
+				if err := a.Send("b", Data, tcpPayload{N: i}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			in := b.Inbox(Data)
+			for i := 0; i < count; i++ {
+				env := recvOne(t, in)
+				if env.Msg.(tcpPayload).N != i {
+					t.Fatalf("out of order: got %v want %d", env.Msg, i)
+				}
+			}
+		})
 	}
 }
 
@@ -100,27 +139,75 @@ func TestTCPNetworkUnknownPeer(t *testing.T) {
 	}
 }
 
-func TestTCPNetworkCloseUnblocks(t *testing.T) {
-	a, err := NewTCPNetwork("x", "127.0.0.1:0", nil)
-	if err != nil {
+// TestTCPNetworkUnregisteredType: the binary codec reports unregistered
+// message types synchronously at Send, before anything hits the wire.
+func TestTCPNetworkUnregisteredType(t *testing.T) {
+	a, _ := tcpPair(t)
+	type unregistered struct{ X int }
+	if err := a.Send("b", Data, unregistered{X: 1}); err == nil {
+		t.Fatal("send of unregistered type should fail")
+	}
+	// The connection must survive a rejected send.
+	if err := a.Send("b", Data, tcpPayload{N: 1}); err != nil {
 		t.Fatal(err)
 	}
-	in := a.Inbox(Data)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for range in {
+}
+
+// TestTCPNetworkStats checks the wire counters add up across a burst:
+// every envelope is accounted for and frames never exceed envelopes. The
+// deterministic coalescing guarantee is covered by
+// TestWriteLoopCoalescesBacklog.
+func TestTCPNetworkStats(t *testing.T) {
+	a, b := tcpPair(t)
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send("b", Data, tcpPayload{N: i}); err != nil {
+			t.Fatal(err)
 		}
-	}()
-	if err := a.Close(); err != nil {
-		t.Fatal(err)
 	}
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("inbox reader not released by Close")
+	in := b.Inbox(Data)
+	for i := 0; i < count; i++ {
+		recvOne(t, in)
 	}
-	if err := a.Send("anyone", Data, tcpPayload{}); err == nil {
-		t.Fatal("send after close should fail")
+	st := a.Stats()
+	if st.EnvelopesSent != count {
+		t.Fatalf("EnvelopesSent = %d, want %d", st.EnvelopesSent, count)
+	}
+	if st.FramesSent == 0 || st.FramesSent > st.EnvelopesSent {
+		t.Fatalf("FramesSent = %d out of range (envelopes %d)", st.FramesSent, st.EnvelopesSent)
+	}
+	rst := b.Stats()
+	if rst.EnvelopesRecv != count {
+		t.Fatalf("EnvelopesRecv = %d, want %d", rst.EnvelopesRecv, count)
+	}
+	t.Logf("coalescing: %d envelopes in %d frames", st.EnvelopesSent, st.FramesSent)
+}
+
+func TestTCPNetworkCloseUnblocks(t *testing.T) {
+	for _, tc := range codecs {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewTCPNetworkOpts("x", "127.0.0.1:0", nil, TCPOptions{Codec: tc.c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := a.Inbox(Data)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range in {
+				}
+			}()
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("inbox reader not released by Close")
+			}
+			if err := a.Send("anyone", Data, tcpPayload{}); err == nil {
+				t.Fatal("send after close should fail")
+			}
+		})
 	}
 }

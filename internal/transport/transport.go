@@ -4,8 +4,10 @@
 //
 // Two implementations are provided: MemNetwork, an in-process network built
 // on goroutines and unbounded per-link queues (with optional fault
-// injection for tests), and TCPNetwork, a gob-over-TCP network for running
-// a group across real processes.
+// injection for tests), and TCPNetwork, a TCP network for running a group
+// across real processes using the hand-rolled binary codec of
+// internal/codec with per-peer frame batching (encoding/gob remains
+// available behind TCPOptions.Codec for one release).
 //
 // Messages are multiplexed onto logical channels so that the protocol, the
 // failure detector and the consensus module each own an independent inbox:
@@ -41,6 +43,13 @@ const (
 // Channels lists every defined channel.
 func Channels() []Channel {
 	return []Channel{Data, Ctl, Consensus, FailureDetector}
+}
+
+// validChannel reports whether ch is one of the defined channels. Wire
+// transports reject envelopes outside this range instead of depositing
+// into inboxes nothing consumes.
+func validChannel(ch Channel) bool {
+	return ch >= Data && ch <= numChannels
 }
 
 // Envelope is a received message together with its origin.

@@ -40,16 +40,16 @@ func (q *ubq) push(e Envelope) {
 }
 
 // close stops the pump; pending items are dropped (crash-stop semantics:
-// a closed endpoint has crashed and receives nothing further).
+// a closed endpoint has crashed and receives nothing further). It is safe
+// to call concurrently and repeatedly; every call returns only once the
+// pump has exited, so no envelope is emitted after close returns.
 func (q *ubq) close() {
 	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		return
+	if !q.closed {
+		q.closed = true
+		close(q.done)
+		q.cond.Signal()
 	}
-	q.closed = true
-	close(q.done)
-	q.cond.Signal()
 	q.mu.Unlock()
 	q.wg.Wait()
 }

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh — run the figure and wire benchmarks and emit BENCH_svs.json,
+# the machine-readable perf trajectory seed (one entry per benchmark,
+# custom metrics included).
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime defaults to 1x (one iteration per benchmark: a smoke pass).
+#   Use e.g. `scripts/bench.sh 2s` for statistically meaningful numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1x}"
+OUT="BENCH_svs.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkFig|BenchmarkWireCodec|BenchmarkEngineMulticast|BenchmarkViewChangeLatency' \
+    -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n  \"source\": \"scripts/bench.sh\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2
+    m = 0
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (m++) printf ", "
+        printf "\"%s\": %s", $(i + 1), $i
+    }
+    printf "}}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
