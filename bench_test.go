@@ -227,6 +227,137 @@ func BenchmarkKEnumObsoletes(b *testing.B) {
 	}
 }
 
+// purgeBenchQueue builds a queue of n entries spread round-robin over
+// senders (per-sender streams in seq order, nothing obsolete in the fill)
+// and a probe message from the first sender whose annotation obsoletes its
+// direct predecessor.
+func purgeBenchQueue(b *testing.B, rel obsolete.Relation, n, senders, k int) (*queue.Queue, queue.Item) {
+	b.Helper()
+	q := queue.New(rel, 0)
+	trackers := make([]*obsolete.KTracker, senders)
+	for i := range trackers {
+		trackers[i] = obsolete.NewKTracker(k)
+	}
+	for i := 0; i < n; i++ {
+		s := i % senders
+		seq, annot := trackers[s].Next() // no obsolescence within the fill
+		q.ForceAppend(queue.Item{
+			Kind: queue.Data, View: 1,
+			Meta: obsolete.Msg{Sender: ident.PID(fmt.Sprintf("s%d", s)), Seq: seq, Annot: annot},
+		})
+	}
+	last := trackers[0].Seq()
+	seq, annot := trackers[0].Next(last)
+	probe := queue.Item{
+		Kind: queue.Data, View: 1,
+		Meta: obsolete.Msg{Sender: "s0", Seq: seq, Annot: annot},
+	}
+	return q, probe
+}
+
+// BenchmarkQueuePurgeFor measures the arrival-time purge pair the engine
+// runs per multicast and per arrival (CountPurgeableFor + PurgeFor) at
+// increasing queue lengths. indexed is the per-(view, sender) index path
+// the built-in encodings get; scan is the retained linear-scan reference,
+// forced by stripping the SenderLocal capability through obsolete.Func.
+// Flat ns/op across sizes on the indexed path (vs linear growth on scan)
+// is the acceptance criterion of the buffer-index work.
+func BenchmarkQueuePurgeFor(b *testing.B) {
+	const k = 64
+	const senders = 16
+	sizes := []struct {
+		name string
+		n    int
+	}{{"64", 64}, {"1k", 1024}, {"16k", 16384}}
+	krel := obsolete.KEnumeration{K: k}
+	modes := []struct {
+		name string
+		rel  obsolete.Relation
+	}{
+		{"indexed", krel},
+		{"scan", obsolete.Func{Label: "scan-ref", F: krel.Obsoletes}},
+	}
+	for _, mode := range modes {
+		for _, sz := range sizes {
+			b.Run(mode.name+"/"+sz.name, func(b *testing.B) {
+				q, probe := purgeBenchQueue(b, mode.rel, sz.n, senders, k)
+				var scratch []queue.Item
+				b.ReportAllocs()
+				b.ResetTimer()
+				// Each iteration does one real purge: count, remove the
+				// probe's predecessor, then re-append it so the next
+				// iteration purges it again (steady queue length, removal
+				// and index maintenance both on the measured path).
+				for i := 0; i < b.N; i++ {
+					_ = q.CountPurgeableFor(probe)
+					scratch = q.PurgeForInto(probe, scratch[:0])
+					if len(scratch) != 1 {
+						b.Fatalf("purged %d entries, want 1", len(scratch))
+					}
+					q.ForceAppend(scratch[0])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQueuePopHead measures the pop cost at steady queue length
+// (pop + append of a successor message). ring is the index-free path
+// (Empty relation, plain VS); indexed is the path real semantic engines
+// run, where each pop also drops the entry from its sender's index. Both
+// must stay flat in queue length — the former slice implementation
+// memmoved the whole backing array per pop, so its ns/op grew linearly.
+func BenchmarkQueuePopHead(b *testing.B) {
+	const senders = 16
+	const k = 64
+	sizes := []struct {
+		name string
+		n    int
+	}{{"1k", 1024}, {"16k", 16384}}
+	payload := make([]byte, 64)
+	for _, indexed := range []bool{false, true} {
+		mode := "ring"
+		if indexed {
+			mode = "indexed"
+		}
+		for _, sz := range sizes {
+			b.Run(mode+"/"+sz.name, func(b *testing.B) {
+				var rel obsolete.Relation = obsolete.Empty{}
+				if indexed {
+					rel = obsolete.KEnumeration{K: k}
+				}
+				q := queue.New(rel, 0)
+				trackers := make(map[ident.PID]*obsolete.KTracker, senders)
+				next := func(p ident.PID) queue.Item {
+					tr := trackers[p]
+					if tr == nil {
+						tr = obsolete.NewKTracker(k)
+						trackers[p] = tr
+					}
+					seq, annot := tr.Next() // no obsolescence: pure pop cost
+					return queue.Item{
+						Kind: queue.Data, View: 1,
+						Meta:    obsolete.Msg{Sender: p, Seq: seq, Annot: annot},
+						Payload: payload,
+					}
+				}
+				for i := 0; i < sz.n; i++ {
+					q.ForceAppend(next(ident.PID(fmt.Sprintf("s%d", i%senders))))
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					it, ok := q.PopHead()
+					if !ok {
+						b.Fatal("queue drained")
+					}
+					q.ForceAppend(next(it.Meta.Sender))
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkQueueAppendPurge(b *testing.B) {
 	const k = 32
 	rel := obsolete.KEnumeration{K: k}
@@ -334,6 +465,7 @@ func BenchmarkEngineMulticastSemantic(b *testing.B) {
 	defer stop()
 	tr := obsolete.NewItemTracker(obsolete.NewKTracker(64))
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		seq, annot := tr.Update(uint32(i % 8))
@@ -349,6 +481,7 @@ func BenchmarkEngineMulticastReliable(b *testing.B) {
 	defer stop()
 	var seq ident.Seq
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		seq++

@@ -62,6 +62,11 @@ type Engine struct {
 	multicastQ     []*request
 	deferredCtl    []transport.Envelope // control traffic for future views
 
+	// purgeScratch is the reusable buffer PurgeForInto fills on the
+	// multicast/arrival hot path, so releasing credits for purged entries
+	// allocates nothing per call.
+	purgeScratch []queue.Item
+
 	stats Stats
 }
 
@@ -91,6 +96,35 @@ type request struct {
 type mcResult struct {
 	view ident.ViewID
 	err  error
+}
+
+// requestPool recycles request structs and their reply channels across
+// Multicast/Deliver/RequestViewChange calls. The loop sends exactly one
+// reply per request, so a request whose reply has been consumed can be
+// reused safely; requests abandoned on ctx cancellation or engine stop are
+// left to the garbage collector because a late reply may still arrive on
+// their channels.
+var requestPool = sync.Pool{New: func() any {
+	return &request{
+		mcC:  make(chan mcResult, 1),
+		delC: make(chan Delivery, 1),
+		errC: make(chan error, 1),
+	}
+}}
+
+func getRequest(kind reqKind, ctx context.Context) *request {
+	req := requestPool.Get().(*request)
+	req.kind = kind
+	req.ctx = ctx
+	return req
+}
+
+func putRequest(req *request) {
+	req.ctx = nil
+	req.meta = obsolete.Msg{}
+	req.payload = nil
+	req.leave = nil
+	requestPool.Put(req)
 }
 
 // decision carries a consensus outcome back into the loop.
@@ -174,18 +208,16 @@ func (e *Engine) Stats() Stats {
 // stops. On success it returns the identifier of the view the message was
 // multicast in.
 func (e *Engine) Multicast(ctx context.Context, meta obsolete.Msg, payload []byte) (ident.ViewID, error) {
-	req := &request{
-		kind:    reqMulticast,
-		ctx:     ctx,
-		meta:    meta,
-		payload: payload,
-		mcC:     make(chan mcResult, 1),
-	}
+	req := getRequest(reqMulticast, ctx)
+	req.meta = meta
+	req.payload = payload
 	if err := e.submit(ctx, req); err != nil {
+		putRequest(req) // never reached the loop
 		return 0, err
 	}
 	select {
 	case res := <-req.mcC:
+		putRequest(req)
 		return res.view, res.err
 	case <-ctx.Done():
 		return 0, ctx.Err()
@@ -199,19 +231,17 @@ func (e *Engine) Multicast(ctx context.Context, meta obsolete.Msg, payload []byt
 // paper uses a down-call style "to ensure that messages not being
 // processed are kept in the protocol buffers", where they stay purgeable.
 func (e *Engine) Deliver(ctx context.Context) (Delivery, error) {
-	req := &request{
-		kind: reqDeliver,
-		ctx:  ctx,
-		delC: make(chan Delivery, 1),
-		errC: make(chan error, 1),
-	}
+	req := getRequest(reqDeliver, ctx)
 	if err := e.submit(ctx, req); err != nil {
+		putRequest(req)
 		return Delivery{}, err
 	}
 	select {
 	case d := <-req.delC:
+		putRequest(req)
 		return d, nil
 	case err := <-req.errC:
+		putRequest(req)
 		return Delivery{}, err
 	case <-ctx.Done():
 		return Delivery{}, ctx.Err()
@@ -224,17 +254,15 @@ func (e *Engine) Deliver(ctx context.Context) (Delivery, error) {
 // asking for the given processes to leave the group. It returns as soon as
 // the INIT is disseminated; the new view arrives as a DeliverView item.
 func (e *Engine) RequestViewChange(leave ...ident.PID) error {
-	req := &request{
-		kind:  reqViewChange,
-		ctx:   context.Background(),
-		leave: ident.NewPIDs(leave...),
-		errC:  make(chan error, 1),
-	}
+	req := getRequest(reqViewChange, context.Background())
+	req.leave = ident.NewPIDs(leave...)
 	if err := e.submit(context.Background(), req); err != nil {
+		putRequest(req)
 		return err
 	}
 	select {
 	case err := <-req.errC:
+		putRequest(req)
 		return err
 	case <-e.doneC:
 		return ErrStopped

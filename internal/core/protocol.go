@@ -83,7 +83,7 @@ func (e *Engine) commitMulticast(req *request) {
 	dm := DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload}
 
 	e.lastSent = it.Meta.Seq
-	e.purgeCredits(e.toDeliver.PurgeFor(it))
+	e.purgeToDeliver(it)
 	e.toDeliver.ForceAppend(it) // room guaranteed by canCommit
 	for _, p := range e.cv.Members {
 		if p == e.cfg.Self {
@@ -106,8 +106,7 @@ func (e *Engine) sendData(p ident.PID, dm DataMsg) {
 	}
 	out := e.flow.pending(p)
 	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
-	purged := out.PurgeFor(it)
-	e.stats.PurgedOutgoing += uint64(len(purged))
+	e.stats.PurgedOutgoing += uint64(out.PurgeForN(it))
 	out.ForceAppend(it) // room guaranteed by canCommit
 }
 
@@ -138,7 +137,7 @@ func (e *Engine) onData(env transport.Envelope) {
 		return
 	}
 	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
-	e.purgeCredits(e.toDeliver.PurgeFor(it))
+	e.purgeToDeliver(it)
 	if e.toDeliver.Full() {
 		// Keep the arrival in the one reserved stall slot; the data inbox
 		// stays closed until space frees, so per-sender FIFO holds.
@@ -172,23 +171,27 @@ func (e *Engine) retryStalled() {
 }
 
 // coveredLocally reports whether a message m with m ⊑ m' for some queued
-// or delivered m' exists.
+// or delivered m' exists. Both queues answer from their sender index when
+// the relation is sender-local, keeping the per-arrival check O(window).
 func (e *Engine) coveredLocally(m obsolete.Msg) bool {
-	pred := func(it queue.Item) bool {
-		return it.Kind == queue.Data && obsolete.CoveredBy(e.rel, m, it.Meta)
-	}
-	return e.toDeliver.Any(pred) || e.delivered.Any(pred)
+	return e.toDeliver.Covers(m) || e.delivered.Covers(m)
 }
 
-// purgeCredits releases flow-control credits for entries purged from the
-// delivery queue: their buffer slots are free again (this is the heart of
-// SVS's advantage — a slow receiver's window refills without consuming).
-func (e *Engine) purgeCredits(purged []queue.Item) {
-	for _, it := range purged {
-		if it.Meta.Sender != e.cfg.Self && it.View == uint64(e.cv.ID) {
-			e.flow.freed(it.Meta.Sender, e)
+// purgeToDeliver purges the delivery-queue entries obsoleted by it and
+// releases flow-control credits for them: their buffer slots are free
+// again (this is the heart of SVS's advantage — a slow receiver's window
+// refills without consuming). The purged entries pass through the
+// engine's reusable scratch slice, so the hot path allocates nothing.
+func (e *Engine) purgeToDeliver(it queue.Item) {
+	purged := e.toDeliver.PurgeForInto(it, e.purgeScratch[:0])
+	for i := range purged {
+		p := &purged[i]
+		if p.Meta.Sender != e.cfg.Self && p.View == uint64(e.cv.ID) {
+			e.flow.freed(p.Meta.Sender, e)
 		}
+		purged[i] = queue.Item{} // release payload references
 	}
+	e.purgeScratch = purged[:0]
 }
 
 // ---- t1: deliver ---------------------------------------------------------
@@ -232,7 +235,7 @@ func (e *Engine) deliverItem(it queue.Item) Delivery {
 		if it.View == uint64(e.cv.ID) {
 			// Keep it in the per-view history for pred sets; purge the
 			// history with the same relation so it holds live items only.
-			e.delivered.PurgeFor(it)
+			e.delivered.PurgeForN(it)
 			e.delivered.ForceAppend(it)
 			if it.Meta.Sender != e.cfg.Self {
 				e.flow.freed(it.Meta.Sender, e)
@@ -394,15 +397,15 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 // obligations for them hold everywhere without flushing.
 func (e *Engine) localPred() []DataMsg {
 	var out []DataMsg
-	collect := func(it queue.Item) bool {
+	collect := func(it *queue.Item) bool {
 		if it.Kind == queue.Data && it.View == uint64(e.cv.ID) &&
 			!e.isStable(it.Meta.Sender, it.Meta.Seq) {
 			out = append(out, DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload})
 		}
 		return true
 	}
-	e.delivered.Each(collect)
-	e.toDeliver.Each(collect)
+	e.delivered.EachRef(collect)
+	e.toDeliver.EachRef(collect)
 	return out
 }
 

@@ -39,7 +39,11 @@ func (Enumeration) Obsoletes(old, new Msg) bool {
 	return false
 }
 
-var _ Relation = Enumeration{}
+// SenderLocal implements the capability: enumerated deltas are relative to
+// the sender's own sequence stream, and deltas are strictly positive.
+func (Enumeration) SenderLocal() bool { return true }
+
+var _ SenderLocal = Enumeration{}
 
 // EnumAnnot builds the enumeration annotation of a message with sequence
 // number seq obsoleting the given earlier sequence numbers. The caller is

@@ -41,7 +41,20 @@ func (r KEnumeration) Obsoletes(old, new Msg) bool {
 	return bitFromBytes(new.Annot, int(d-1))
 }
 
-var _ Relation = KEnumeration{}
+// SenderLocal implements the capability: bitmaps index the sender's own
+// predecessors only.
+func (r KEnumeration) SenderLocal() bool { return true }
+
+// Window implements the Windowed capability: a k-bit bitmap cannot reach
+// further back than k predecessors, so purge candidates for an incoming
+// message with sequence number s are confined to [s-k, s) — the k-th
+// predecessor (delta exactly k, bit k-1) is still reachable.
+func (r KEnumeration) Window() int { return r.K }
+
+var (
+	_ SenderLocal = KEnumeration{}
+	_ Windowed    = KEnumeration{}
+)
 
 // KTracker allocates sequence numbers and computes transitively closed
 // k-enumeration bitmaps at the sender. It keeps the bitmaps of the last k

@@ -63,6 +63,33 @@ type Relation interface {
 	Obsoletes(old, new Msg) bool
 }
 
+// SenderLocal is an optional capability of a Relation. A relation that
+// implements it and reports true guarantees the FIFO sender-locality of
+// §4.2: Obsoletes(old, new) implies old.Sender == new.Sender AND
+// old.Seq < new.Seq. All encodings in this package have this property
+// ("tags are ... used in combination with the sender identification and
+// sequence numbers").
+//
+// Consumers (notably internal/queue) exploit the guarantee to index
+// buffered messages by sender and only examine a sender's own entries
+// when purging, instead of scanning the whole buffer.
+type SenderLocal interface {
+	Relation
+	// SenderLocal reports whether the guarantee above holds. Returning
+	// false is equivalent to not implementing the interface.
+	SenderLocal() bool
+}
+
+// Windowed is an optional capability refining SenderLocal: a relation
+// that implements it guarantees Obsoletes(old, new) implies
+// new.Seq - old.Seq <= Window(). KEnumeration has this property by
+// construction (a k-bit bitmap cannot reach past k predecessors), which
+// bounds purge candidates to a constant-size window of the sender's
+// stream. Window() <= 0 means unbounded.
+type Windowed interface {
+	Window() int
+}
+
 // Empty is the empty obsolescence relation: no message ever obsoletes
 // another. Running the SVS protocol with Empty yields classic View
 // Synchrony (§3.2: "If no messages m, m' exist such that m ≺ m', SVS
@@ -75,7 +102,11 @@ func (Empty) Name() string { return "empty" }
 // Obsoletes implements Relation; it always reports false.
 func (Empty) Obsoletes(_, _ Msg) bool { return false }
 
-var _ Relation = Empty{}
+// SenderLocal implements the capability vacuously: the relation never
+// holds, so in particular it never relates messages of distinct senders.
+func (Empty) SenderLocal() bool { return true }
+
+var _ SenderLocal = Empty{}
 
 // Func adapts a plain function to the Relation interface. It is intended
 // for tests and for applications with bespoke semantics.

@@ -1,0 +1,467 @@
+package queue
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// model is the linear-scan slice reference implementation the indexed
+// ring queue is differentially tested against. It deliberately mirrors
+// the specified semantics with the most obvious code: entries in a plain
+// slice, purges as FIFO-order scans where removed entries stop serving as
+// witnesses.
+type model struct {
+	rel      obsolete.Relation
+	capacity int
+	items    []Item
+	stats    Stats
+}
+
+func newModel(rel obsolete.Relation, capacity int) *model {
+	return &model{rel: rel, capacity: capacity}
+}
+
+func (m *model) full() bool { return m.capacity > 0 && len(m.items) >= m.capacity }
+
+func (m *model) forceAppend(it Item) {
+	m.items = append(m.items, it)
+	m.stats.Appended++
+	if len(m.items) > m.stats.MaxLen {
+		m.stats.MaxLen = len(m.items)
+	}
+}
+
+func (m *model) append(it Item) error {
+	if m.full() {
+		m.purge()
+		if m.full() {
+			m.stats.Rejected++
+			return ErrFull
+		}
+	}
+	m.forceAppend(it)
+	return nil
+}
+
+func (m *model) purgeFor(n Item) []Item {
+	if n.Kind != Data {
+		return nil
+	}
+	var removed []Item
+	kept := m.items[:0]
+	for _, it := range m.items {
+		if it.Kind == Data && it.View == n.View && m.rel.Obsoletes(it.Meta, n.Meta) {
+			removed = append(removed, it)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	m.items = kept
+	m.stats.Purged += uint64(len(removed))
+	return removed
+}
+
+func (m *model) countPurgeableFor(n Item) int {
+	if n.Kind != Data {
+		return 0
+	}
+	c := 0
+	for _, it := range m.items {
+		if it.Kind == Data && it.View == n.View && m.rel.Obsoletes(it.Meta, n.Meta) {
+			c++
+		}
+	}
+	return c
+}
+
+// purge removes entries in FIFO order; an entry already removed in this
+// sweep no longer serves as a witness for later entries.
+func (m *model) purge() int {
+	removed := 0
+	for i := 0; i < len(m.items); {
+		it := m.items[i]
+		if it.Kind == Data && m.witness(it, i) {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			removed++
+			continue
+		}
+		i++
+	}
+	m.stats.Purged += uint64(removed)
+	return removed
+}
+
+func (m *model) witness(it Item, self int) bool {
+	for j, x := range m.items {
+		if j == self || x.Kind != Data || x.View != it.View {
+			continue
+		}
+		if m.rel.Obsoletes(it.Meta, x.Meta) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *model) popHead() (Item, bool) {
+	if len(m.items) == 0 {
+		return Item{}, false
+	}
+	it := m.items[0]
+	m.items = m.items[1:]
+	m.stats.Popped++
+	return it, true
+}
+
+func (m *model) removeIf(f func(Item) bool) int {
+	kept := m.items[:0]
+	removed := 0
+	for _, it := range m.items {
+		if f(it) {
+			removed++
+			continue
+		}
+		kept = append(kept, it)
+	}
+	m.items = kept
+	return removed
+}
+
+// entryID is the comparable identity of a queue entry.
+type entryID struct {
+	kind   Kind
+	view   uint64
+	sender ident.PID
+	seq    ident.Seq
+}
+
+func id(it Item) entryID {
+	return entryID{kind: it.Kind, view: it.View, sender: it.Meta.Sender, seq: it.Meta.Seq}
+}
+
+func ids(items []Item) []entryID {
+	out := make([]entryID, len(items))
+	for i, it := range items {
+		out[i] = id(it)
+	}
+	return out
+}
+
+func compareState(t *testing.T, step int, q *Queue, m *model) {
+	t.Helper()
+	if q.Len() != len(m.items) {
+		t.Fatalf("step %d: Len %d, model %d", step, q.Len(), len(m.items))
+	}
+	if q.Stats() != m.stats {
+		t.Fatalf("step %d: Stats %+v, model %+v", step, q.Stats(), m.stats)
+	}
+	got, want := ids(q.Snapshot()), ids(m.items)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: kept-set mismatch at %d: %+v vs %+v\n got %v\nwant %v",
+				step, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// stream generates one sender's annotated message stream.
+type stream interface {
+	next(rng *rand.Rand) obsolete.Msg
+}
+
+type taggingStream struct {
+	sender ident.PID
+	seq    ident.Seq
+}
+
+func (s *taggingStream) next(rng *rand.Rand) obsolete.Msg {
+	s.seq++
+	annot := obsolete.NoTag()
+	if rng.Intn(4) != 0 { // some messages stay untagged (fully reliable)
+		annot = obsolete.TagAnnot(uint32(rng.Intn(4)))
+	}
+	return obsolete.Msg{Sender: s.sender, Seq: s.seq, Annot: annot}
+}
+
+type trackerStream struct {
+	sender ident.PID
+	tr     obsolete.Tracker
+	window int
+}
+
+func (s *trackerStream) next(rng *rand.Rand) obsolete.Msg {
+	last := s.tr.Seq()
+	var direct []ident.Seq
+	for d := 1; d <= s.window && ident.Seq(d) <= last; d++ {
+		if rng.Intn(3) == 0 {
+			direct = append(direct, last+1-ident.Seq(d))
+		}
+	}
+	seq, annot := s.tr.Next(direct...)
+	return obsolete.Msg{Sender: s.sender, Seq: seq, Annot: annot}
+}
+
+type funcStream struct {
+	sender ident.PID
+	seq    ident.Seq
+}
+
+func (s *funcStream) next(rng *rand.Rand) obsolete.Msg {
+	s.seq++
+	return obsolete.Msg{Sender: s.sender, Seq: s.seq, Annot: []byte{byte(rng.Intn(3))}}
+}
+
+// crossSenderFunc relates messages across senders (same one-byte class,
+// strictly increasing seq) — not sender-local, so the queue must take the
+// retained scan path.
+var crossSenderFunc = obsolete.Func{
+	Label: "cross-sender-class",
+	F: func(old, new obsolete.Msg) bool {
+		return old.Seq < new.Seq && len(old.Annot) == 1 && len(new.Annot) == 1 &&
+			old.Annot[0] == new.Annot[0]
+	},
+}
+
+// TestDifferentialIndexedVsReference drives identical randomized operation
+// sequences through the ring queue and the slice reference model for all
+// three §4.2 encodings plus an arbitrary cross-sender Func relation, and
+// checks kept-sets, purge counts, return values and stats stay identical
+// after every operation.
+func TestDifferentialIndexedVsReference(t *testing.T) {
+	const k = 8
+	cases := []struct {
+		name    string
+		rel     obsolete.Relation
+		indexed bool
+		streams func(senders []ident.PID) []stream
+	}{
+		{
+			name: "tagging", rel: obsolete.Tagging{}, indexed: true,
+			streams: func(ps []ident.PID) []stream {
+				out := make([]stream, len(ps))
+				for i, p := range ps {
+					out[i] = &taggingStream{sender: p}
+				}
+				return out
+			},
+		},
+		{
+			name: "enumeration", rel: obsolete.Enumeration{}, indexed: true,
+			streams: func(ps []ident.PID) []stream {
+				out := make([]stream, len(ps))
+				for i, p := range ps {
+					out[i] = &trackerStream{sender: p, tr: obsolete.NewEnumTracker(k), window: k}
+				}
+				return out
+			},
+		},
+		{
+			name: "k-enumeration", rel: obsolete.KEnumeration{K: k}, indexed: true,
+			streams: func(ps []ident.PID) []stream {
+				out := make([]stream, len(ps))
+				for i, p := range ps {
+					out[i] = &trackerStream{sender: p, tr: obsolete.NewKTracker(k), window: k}
+				}
+				return out
+			},
+		},
+		{
+			name: "func-cross-sender", rel: crossSenderFunc, indexed: false,
+			streams: func(ps []ident.PID) []stream {
+				out := make([]stream, len(ps))
+				for i, p := range ps {
+					out[i] = &funcStream{sender: p}
+				}
+				return out
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 40; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000*trial + 7)))
+				capacity := []int{0, 0, 4, 8, 16}[rng.Intn(5)]
+				q := New(tc.rel, capacity)
+				if q.Indexed() != tc.indexed {
+					t.Fatalf("Indexed() = %v, want %v", q.Indexed(), tc.indexed)
+				}
+				m := newModel(tc.rel, capacity)
+
+				senders := []ident.PID{"a", "b", "c"}[:1+rng.Intn(3)]
+				streams := tc.streams(senders)
+				view := func() uint64 { return uint64(1 + rng.Intn(2)) }
+
+				for step := 0; step < 250; step++ {
+					switch op := rng.Intn(10); op {
+					case 0, 1, 2: // plain append of the next stream message
+						it := Item{Kind: Data, View: view(), Meta: streams[rng.Intn(len(streams))].next(rng)}
+						qe, me := q.Append(it), m.append(it)
+						if (qe == nil) != (me == nil) {
+							t.Fatalf("trial %d step %d: Append err %v vs %v", trial, step, qe, me)
+						}
+					case 3: // arrival purge + append (the engine hot path)
+						it := Item{Kind: Data, View: view(), Meta: streams[rng.Intn(len(streams))].next(rng)}
+						qc, mc := q.CountPurgeableFor(it), m.countPurgeableFor(it)
+						if qc != mc {
+							t.Fatalf("trial %d step %d: CountPurgeableFor %d vs %d", trial, step, qc, mc)
+						}
+						qr := q.PurgeFor(it)
+						mr := m.purgeFor(it)
+						if fmt.Sprint(ids(qr)) != fmt.Sprint(ids(mr)) {
+							t.Fatalf("trial %d step %d: PurgeFor removed %v vs %v", trial, step, ids(qr), ids(mr))
+						}
+						q.ForceAppend(it)
+						m.forceAppend(it)
+					case 4: // AppendPurge
+						it := Item{Kind: Data, View: view(), Meta: streams[rng.Intn(len(streams))].next(rng)}
+						qp, qe := q.AppendPurge(it)
+						mp := len(m.purgeFor(it))
+						me := m.append(it)
+						if qp != mp || (qe == nil) != (me == nil) {
+							t.Fatalf("trial %d step %d: AppendPurge (%d,%v) vs (%d,%v)", trial, step, qp, qe, mp, me)
+						}
+					case 5: // control marker
+						it := Item{Kind: Control, View: view(), Ctl: step}
+						q.ForceAppend(it)
+						m.forceAppend(it)
+					case 6, 7: // consume
+						qi, qok := q.PopHead()
+						mi, mok := m.popHead()
+						if qok != mok || (qok && id(qi) != id(mi)) {
+							t.Fatalf("trial %d step %d: PopHead (%+v,%v) vs (%+v,%v)", trial, step, id(qi), qok, id(mi), mok)
+						}
+					case 8: // full sweep
+						if qr, mr := q.Purge(), m.purge(); qr != mr {
+							t.Fatalf("trial %d step %d: Purge %d vs %d", trial, step, qr, mr)
+						}
+					case 9: // view-change garbage collection
+						v := uint64(1 + rng.Intn(2))
+						f := func(it Item) bool { return it.View == v && it.Meta.Seq%3 == 0 }
+						if qr, mr := q.RemoveIf(f), m.removeIf(f); qr != mr {
+							t.Fatalf("trial %d step %d: RemoveIf %d vs %d", trial, step, qr, mr)
+						}
+					}
+					compareState(t, step, q, m)
+				}
+			}
+		})
+	}
+}
+
+// coverProbes builds obsolete.Msg probes around the queue's current
+// contents: an exact queued message, a perturbed sequence number, and an
+// unknown sender.
+func coverProbes(rng *rand.Rand, q *Queue) []obsolete.Msg {
+	probes := []obsolete.Msg{{Sender: "nobody", Seq: ident.Seq(1 + rng.Intn(20))}}
+	snap := q.Snapshot()
+	if len(snap) == 0 {
+		return probes
+	}
+	it := snap[rng.Intn(len(snap))]
+	if it.Kind != Data {
+		return probes
+	}
+	probes = append(probes, it.Meta)
+	off := it.Meta
+	off.Seq = ident.Seq(uint64(off.Seq) + uint64(rng.Intn(5)) - 2)
+	probes = append(probes, off)
+	return probes
+}
+
+// TestDifferentialScanMatchesIndexed strips the capability from each
+// sender-local encoding (wrapping it in obsolete.Func) and checks the
+// retained linear-scan path agrees with the indexed path operation by
+// operation — the two implementations must be observationally identical.
+func TestDifferentialScanMatchesIndexed(t *testing.T) {
+	const k = 8
+	rels := []obsolete.Relation{
+		obsolete.Tagging{},
+		obsolete.Enumeration{},
+		obsolete.KEnumeration{K: k},
+	}
+	for _, rel := range rels {
+		rel := rel
+		t.Run(rel.Name(), func(t *testing.T) {
+			for trial := 0; trial < 25; trial++ {
+				rng := rand.New(rand.NewSource(int64(31*trial + 3)))
+				indexed := New(rel, 8)
+				scan := New(obsolete.Func{Label: rel.Name(), F: rel.Obsoletes}, 8)
+				if !indexed.Indexed() || scan.Indexed() {
+					t.Fatal("capability detection broken")
+				}
+
+				senders := []ident.PID{"a", "b"}
+				trackers := map[ident.PID]*obsolete.KTracker{}
+				taggingSeq := map[ident.PID]ident.Seq{}
+				for _, p := range senders {
+					trackers[p] = obsolete.NewKTracker(k)
+				}
+				next := func(p ident.PID) obsolete.Msg {
+					switch rel.(type) {
+					case obsolete.Tagging:
+						taggingSeq[p]++
+						return obsolete.Msg{Sender: p, Seq: taggingSeq[p], Annot: obsolete.TagAnnot(uint32(rng.Intn(3)))}
+					default:
+						tr := trackers[p]
+						var direct []ident.Seq
+						if last := tr.Seq(); last > 0 && rng.Intn(2) == 0 {
+							direct = append(direct, last)
+						}
+						seq, annot := tr.Next(direct...)
+						return obsolete.Msg{Sender: p, Seq: seq, Annot: annot}
+					}
+				}
+
+				for step := 0; step < 200; step++ {
+					switch rng.Intn(6) {
+					case 0, 1, 2:
+						it := Item{Kind: Data, View: 1, Meta: next(senders[rng.Intn(len(senders))])}
+						p1, e1 := indexed.AppendPurge(it)
+						p2, e2 := scan.AppendPurge(it)
+						if p1 != p2 || (e1 == nil) != (e2 == nil) {
+							t.Fatalf("trial %d step %d: AppendPurge (%d,%v) vs (%d,%v)", trial, step, p1, e1, p2, e2)
+						}
+					case 3:
+						i1, ok1 := indexed.PopHead()
+						i2, ok2 := scan.PopHead()
+						if ok1 != ok2 || (ok1 && id(i1) != id(i2)) {
+							t.Fatalf("trial %d step %d: PopHead mismatch", trial, step)
+						}
+					case 4:
+						if r1, r2 := indexed.Purge(), scan.Purge(); r1 != r2 {
+							t.Fatalf("trial %d step %d: Purge %d vs %d", trial, step, r1, r2)
+						}
+					case 5:
+						it := Item{Kind: Data, View: 1, Meta: next(senders[rng.Intn(len(senders))])}
+						if c1, c2 := indexed.CountPurgeableFor(it), scan.CountPurgeableFor(it); c1 != c2 {
+							t.Fatalf("trial %d step %d: CountPurgeableFor %d vs %d", trial, step, c1, c2)
+						}
+						indexed.ForceAppend(it)
+						scan.ForceAppend(it)
+					}
+					// Coverage probes: a queued message (if any), a stale
+					// seq, and a fresh one must all agree across paths.
+					for _, probe := range coverProbes(rng, indexed) {
+						if c1, c2 := indexed.Covers(probe), scan.Covers(probe); c1 != c2 {
+							t.Fatalf("trial %d step %d: Covers(%v/%d) %v vs %v",
+								trial, step, probe.Sender, probe.Seq, c1, c2)
+						}
+					}
+					if indexed.Stats() != scan.Stats() {
+						t.Fatalf("trial %d step %d: stats %+v vs %+v", trial, step, indexed.Stats(), scan.Stats())
+					}
+					g, w := ids(indexed.Snapshot()), ids(scan.Snapshot())
+					if fmt.Sprint(g) != fmt.Sprint(w) {
+						t.Fatalf("trial %d step %d: kept-sets\n indexed %v\n scan    %v", trial, step, g, w)
+					}
+				}
+			}
+		})
+	}
+}

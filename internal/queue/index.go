@@ -1,0 +1,118 @@
+package queue
+
+import (
+	"sort"
+
+	"repro/internal/ident"
+)
+
+// Sender index. For sender-local relations (obsolete.SenderLocal) purge
+// only ever relates entries of one (view, sender) stream, so the queue
+// keeps, per stream, the seq-ordered list of its data entries' absolute
+// ring positions. Purge operations then bound their candidate set to one
+// stream — and, with a window hint (obsolete.Windowed), to a seq range
+// found by binary search — instead of scanning the whole buffer.
+
+type idxKey struct {
+	view   uint64
+	sender ident.PID
+}
+
+type idxEnt struct {
+	seq ident.Seq
+	pos uint64 // absolute ring position (see ring.go)
+}
+
+// idxAdd records a data entry. The protocol appends each stream in
+// ascending seq order, making this an O(1) append; out-of-order inserts
+// (possible only through direct queue use) fall back to a sorted insert.
+func (q *Queue) idxAdd(k idxKey, seq ident.Seq, pos uint64) {
+	s := q.idx[k]
+	if len(s) == 0 {
+		// First entry of this (view, sender) stream: record the view in
+		// the sender's view list (emptied streams are always deleted, so
+		// len 0 means the key was absent).
+		q.views[k.sender] = append(q.views[k.sender], k.view)
+	}
+	if n := len(s); n == 0 || s[n-1].seq <= seq {
+		q.idx[k] = append(s, idxEnt{seq: seq, pos: pos})
+		return
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].seq > seq })
+	s = append(s, idxEnt{})
+	copy(s[i+1:], s[i:])
+	s[i] = idxEnt{seq: seq, pos: pos}
+	q.idx[k] = s
+}
+
+// idxDrop removes the entry with the given seq and position.
+func (q *Queue) idxDrop(k idxKey, seq ident.Seq, pos uint64) {
+	s := q.idx[k]
+	i := sort.Search(len(s), func(i int) bool { return s[i].seq >= seq })
+	for i < len(s) && s[i].pos != pos {
+		i++ // duplicate seqs: match by position
+	}
+	if i == len(s) {
+		return
+	}
+	if i == 0 {
+		// PopHead always drops the stream's oldest entry: reslice instead
+		// of memmoving the whole slice, keeping pops O(1). The vacated
+		// front cells are reclaimed when append reallocates.
+		s = s[1:]
+	} else {
+		s = append(s[:i], s[i+1:]...)
+	}
+	if len(s) == 0 {
+		q.dropStream(k)
+	} else {
+		q.idx[k] = s
+	}
+}
+
+// dropStream deletes an emptied (view, sender) stream and removes its
+// view from the sender's view list.
+func (q *Queue) dropStream(k idxKey) {
+	delete(q.idx, k)
+	vs := q.views[k.sender]
+	for i, v := range vs {
+		if v == k.view {
+			vs[i] = vs[len(vs)-1]
+			vs = vs[:len(vs)-1]
+			break
+		}
+	}
+	if len(vs) == 0 {
+		delete(q.views, k.sender)
+	} else {
+		q.views[k.sender] = vs
+	}
+}
+
+// rebuildIndex reconstructs the index from the ring after compaction has
+// reassigned positions.
+func (q *Queue) rebuildIndex() {
+	for k := range q.idx {
+		delete(q.idx, k)
+	}
+	for s := range q.views {
+		delete(q.views, s)
+	}
+	for p := q.head; p != q.tail; p++ {
+		it := q.slot(p)
+		if it.Kind == Data {
+			q.idxAdd(idxKey{view: it.View, sender: it.Meta.Sender}, it.Meta.Seq, p)
+		}
+	}
+}
+
+// candidateFloor returns the first index in s whose entry can possibly be
+// obsoleted by a message with sequence number seq under the configured
+// window (0 when unbounded).
+func (q *Queue) candidateFloor(s []idxEnt, seq ident.Seq) int {
+	if q.window <= 0 || uint64(seq) <= uint64(q.window) {
+		return 0
+	}
+	min := seq - ident.Seq(q.window)
+	return sort.Search(len(s), func(i int) bool { return s[i].seq >= min })
+}

@@ -3,11 +3,36 @@
 // including the purge function that removes messages obsoleted by a later
 // message of the same view, and the bounded-capacity behaviour that drives
 // the flow control studied in §5.
+//
+// # Storage layout
+//
+// Entries live in a power-of-two ring buffer addressed by monotonically
+// increasing absolute positions (head..tail). PopHead advances head and
+// zeroes the vacated slot — O(1), no memmove, no pinned payloads. Purged
+// entries become zeroed tombstone slots that PopHead/iteration skip and
+// that compaction reclaims when the ring wraps into them.
+//
+// # Sender index
+//
+// Every encoding of §4.2 relates messages of a single sender only, and
+// k-enumeration further bounds the reach to a window of k sequence
+// numbers. When the relation declares this through the capability
+// interfaces obsolete.SenderLocal / obsolete.Windowed, the queue keeps a
+// per-(view, sender) seq-ordered index of its data entries and purge
+// operations examine only the incoming message's own sender — O(window)
+// for k-enumeration instead of O(queue length). Arbitrary relations
+// (obsolete.Func) fall back to the retained linear-scan reference path.
+//
+// The indexed path reproduces the scan path exactly as long as each
+// (view, sender) stream is appended in ascending sequence-number order —
+// the per-sender FIFO invariant the protocol engine maintains.
 package queue
 
 import (
+	"bytes"
 	"errors"
 
+	"repro/internal/ident"
 	"repro/internal/obsolete"
 )
 
@@ -16,8 +41,11 @@ import (
 type Kind uint8
 
 const (
+	// kindDead marks a tombstone slot left behind by a purge; the zero
+	// Item is a dead slot.
+	kindDead Kind = iota
 	// Data is an application multicast message.
-	Data Kind = iota + 1
+	Data
 	// Control is a protocol marker (e.g. a view notification).
 	Control
 )
@@ -55,28 +83,68 @@ type Stats struct {
 type Queue struct {
 	rel      obsolete.Relation
 	capacity int // 0 = unbounded
-	items    []Item
 	stats    Stats
+
+	// Ring storage (see ring.go). buf has power-of-two length; head and
+	// tail are absolute positions, slot p lives at buf[p&mask].
+	buf  []Item
+	mask uint64
+	head uint64
+	tail uint64
+	live int // non-tombstone entries in [head, tail)
+
+	// Sender index (see index.go). idx is non-nil iff rel is
+	// sender-local; views lists, per sender, the views it currently has
+	// indexed entries in (so Covers touches only that sender's streams).
+	idx    map[idxKey][]idxEnt
+	views  map[ident.PID][]uint64
+	window int  // >0: purge candidate window in sequence numbers
+	never  bool // rel is obsolete.Empty: purging can never remove anything
 }
 
 // New returns an empty queue using rel to recognise obsolete entries.
 // capacity 0 means unbounded; otherwise Append fails with ErrFull when the
 // queue holds capacity entries and purging frees nothing.
+//
+// When rel implements obsolete.SenderLocal (all built-in encodings do),
+// the queue maintains the per-(view, sender) index and purge operations
+// run in O(sender's entries) — O(window) when rel also implements
+// obsolete.Windowed — instead of scanning the whole queue.
 func New(rel obsolete.Relation, capacity int) *Queue {
 	if rel == nil {
 		rel = obsolete.Empty{}
 	}
-	return &Queue{rel: rel, capacity: capacity}
+	q := &Queue{rel: rel, capacity: capacity}
+	if _, ok := rel.(obsolete.Empty); ok {
+		// The empty relation obsoletes nothing: skip both the index and
+		// every purge scan (plain VS has no purging to pay for).
+		q.never = true
+		return q
+	}
+	if sl, ok := rel.(obsolete.SenderLocal); ok && sl.SenderLocal() {
+		q.idx = make(map[idxKey][]idxEnt)
+		q.views = make(map[ident.PID][]uint64)
+		if w, ok := rel.(obsolete.Windowed); ok {
+			if win := w.Window(); win > 0 {
+				q.window = win
+			}
+		}
+	}
+	return q
 }
 
+// Indexed reports whether the sender-local indexed purge path is active
+// (as opposed to the linear-scan fallback for arbitrary relations).
+func (q *Queue) Indexed() bool { return q.idx != nil }
+
 // Len returns the number of queued entries.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.live }
 
 // Cap returns the configured capacity (0 = unbounded).
 func (q *Queue) Cap() int { return q.capacity }
 
 // Full reports whether the queue is at capacity.
-func (q *Queue) Full() bool { return q.capacity > 0 && len(q.items) >= q.capacity }
+func (q *Queue) Full() bool { return q.capacity > 0 && q.live >= q.capacity }
 
 // Stats returns the accumulated counters.
 func (q *Queue) Stats() Stats { return q.stats }
@@ -92,59 +160,8 @@ func (q *Queue) Append(it Item) error {
 			return ErrFull
 		}
 	}
-	q.items = append(q.items, it)
-	q.stats.Appended++
-	if len(q.items) > q.stats.MaxLen {
-		q.stats.MaxLen = len(q.items)
-	}
+	q.push(it)
 	return nil
-}
-
-// Purge implements the purge function of Figure 1: repeatedly remove any
-// data entry m such that another data entry m' of the same view with
-// m ≺ m' is present. It returns the number of entries removed.
-//
-// A single marking pass against the original contents is equivalent to the
-// paper's while-loop: any marked set can be removed one element at a time
-// in ascending partial-order position, and at each step the witness
-// (strictly greater in the order) is still present. Maximal elements are
-// never marked, which is the invariant the correctness argument of §3.4
-// rests on.
-func (q *Queue) Purge() int {
-	if len(q.items) < 2 {
-		return 0
-	}
-	kept := q.items[:0]
-	removed := 0
-	for i := range q.items {
-		m := q.items[i]
-		if m.Kind == Data && q.obsoletedBy(m, i) {
-			removed++
-			continue
-		}
-		kept = append(kept, m)
-	}
-	q.items = kept
-	q.stats.Purged += uint64(removed)
-	return removed
-}
-
-// obsoletedBy reports whether items[i] is obsoleted by any other data
-// entry of the same view.
-func (q *Queue) obsoletedBy(m Item, i int) bool {
-	for j := range q.items {
-		if j == i {
-			continue
-		}
-		n := q.items[j]
-		if n.Kind != Data || n.View != m.View {
-			continue
-		}
-		if q.rel.Obsoletes(m.Meta, n.Meta) {
-			return true
-		}
-	}
-	return false
 }
 
 // ForceAppend adds it to the tail regardless of capacity. The protocol
@@ -152,87 +169,63 @@ func (q *Queue) obsoletedBy(m Item, i int) bool {
 // never be refused ("the protocol must always reserve separate buffer
 // space for control information", §5.3).
 func (q *Queue) ForceAppend(it Item) {
-	q.items = append(q.items, it)
-	q.stats.Appended++
-	if len(q.items) > q.stats.MaxLen {
-		q.stats.MaxLen = len(q.items)
-	}
-}
-
-// PurgeFor removes and returns the entries obsoleted by the (just received
-// or about to be appended) message n. This is the cheap O(len)
-// arrival-time purge used on the hot path; Purge remains available for the
-// full pairwise sweep. The removed items are returned so the caller can
-// release per-sender flow-control credits.
-func (q *Queue) PurgeFor(n Item) []Item {
-	if n.Kind != Data || len(q.items) == 0 {
-		return nil
-	}
-	kept := q.items[:0]
-	var removed []Item
-	for _, m := range q.items {
-		if m.Kind == Data && m.View == n.View && q.rel.Obsoletes(m.Meta, n.Meta) {
-			removed = append(removed, m)
-			continue
-		}
-		kept = append(kept, m)
-	}
-	q.items = kept
-	q.stats.Purged += uint64(len(removed))
-	return removed
-}
-
-// CountPurgeableFor reports how many entries PurgeFor(n) would remove,
-// without removing them. Used for the engine's all-or-nothing capacity
-// check before committing a multicast.
-func (q *Queue) CountPurgeableFor(n Item) int {
-	if n.Kind != Data {
-		return 0
-	}
-	c := 0
-	for _, m := range q.items {
-		if m.Kind == Data && m.View == n.View && q.rel.Obsoletes(m.Meta, n.Meta) {
-			c++
-		}
-	}
-	return c
+	q.push(it)
 }
 
 // AppendPurge purges the entries obsoleted by it, then appends it. The
 // purge happens even if the append then fails with ErrFull — mirroring a
 // network buffer where the arriving packet displaces obsolete ones before
-// space is assessed.
+// space is assessed. Unlike PurgeFor it does not materialise the removed
+// entries, so it allocates nothing.
 func (q *Queue) AppendPurge(it Item) (purged int, err error) {
-	purged = len(q.PurgeFor(it))
+	_, purged = q.purgeFor(it, nil, false)
 	return purged, q.Append(it)
 }
 
-// PopHead removes and returns the head entry.
+// PopHead removes and returns the head entry in O(1); the vacated slot is
+// zeroed so the ring never pins popped payloads.
 func (q *Queue) PopHead() (Item, bool) {
-	if len(q.items) == 0 {
+	q.skipDeadHead()
+	if q.head == q.tail {
 		return Item{}, false
 	}
-	it := q.items[0]
-	// Shift rather than reslice so the backing array does not pin popped
-	// payloads nor grow without bound.
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
+	s := q.slot(q.head)
+	it := *s
+	if q.idx != nil && it.Kind == Data {
+		q.idxDrop(idxKey{view: it.View, sender: it.Meta.Sender}, it.Meta.Seq, q.head)
+	}
+	*s = Item{}
+	q.head++
+	q.live--
 	q.stats.Popped++
 	return it, true
 }
 
 // PeekHead returns the head entry without removing it.
 func (q *Queue) PeekHead() (Item, bool) {
-	if len(q.items) == 0 {
+	q.skipDeadHead()
+	if q.head == q.tail {
 		return Item{}, false
 	}
-	return q.items[0], true
+	return *q.slot(q.head), true
 }
 
 // Each calls f on every entry in FIFO order, stopping early if f returns
-// false.
+// false. The entry is passed by value; use EachRef on hot paths.
 func (q *Queue) Each(f func(Item) bool) {
-	for _, it := range q.items {
+	q.EachRef(func(it *Item) bool { return f(*it) })
+}
+
+// EachRef calls f on every entry in FIFO order without copying the Item,
+// stopping early if f returns false. The pointer is only valid during the
+// callback and must not be retained or written through; the callback must
+// not mutate the queue.
+func (q *Queue) EachRef(f func(*Item) bool) {
+	for p := q.head; p != q.tail; p++ {
+		it := q.slot(p)
+		if it.Kind == kindDead {
+			continue
+		}
 		if !f(it) {
 			return
 		}
@@ -241,34 +234,50 @@ func (q *Queue) Each(f func(Item) bool) {
 
 // Any reports whether some entry satisfies f.
 func (q *Queue) Any(f func(Item) bool) bool {
-	for _, it := range q.items {
-		if f(it) {
-			return true
-		}
-	}
-	return false
+	return q.AnyRef(func(it *Item) bool { return f(*it) })
+}
+
+// AnyRef reports whether some entry satisfies f, without copying entries.
+// The same aliasing rules as EachRef apply.
+func (q *Queue) AnyRef(f func(*Item) bool) bool {
+	found := false
+	q.EachRef(func(it *Item) bool {
+		found = f(it)
+		return !found
+	})
+	return found
 }
 
 // RemoveIf removes every entry satisfying f, returning how many were
 // removed. Unlike Purge this does not touch the purge counter; it is used
 // for view-change garbage collection.
 func (q *Queue) RemoveIf(f func(Item) bool) int {
-	kept := q.items[:0]
 	removed := 0
-	for _, it := range q.items {
-		if f(it) {
-			removed++
+	for p := q.head; p != q.tail; p++ {
+		it := q.slot(p)
+		if it.Kind == kindDead || !f(*it) {
 			continue
 		}
-		kept = append(kept, it)
+		if q.idx != nil && it.Kind == Data {
+			q.idxDrop(idxKey{view: it.View, sender: it.Meta.Sender}, it.Meta.Seq, p)
+		}
+		q.killSlot(p)
+		removed++
 	}
-	q.items = kept
 	return removed
 }
 
-// Snapshot returns a copy of the queue contents in FIFO order.
+// Snapshot returns a copy of the queue contents in FIFO order. Payloads
+// and annotations are cloned: the snapshot never aliases live queue bytes
+// into the caller's hands.
 func (q *Queue) Snapshot() []Item {
-	out := make([]Item, len(q.items))
-	copy(out, q.items)
+	out := make([]Item, 0, q.live)
+	q.EachRef(func(it *Item) bool {
+		c := *it
+		c.Payload = bytes.Clone(it.Payload)
+		c.Meta.Annot = bytes.Clone(it.Meta.Annot)
+		out = append(out, c)
+		return true
+	})
 	return out
 }

@@ -1,0 +1,181 @@
+package queue
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+func payloadItem(sender ident.PID, seq ident.Seq, tag uint32) Item {
+	return Item{
+		Kind:    Data,
+		View:    1,
+		Meta:    obsolete.Msg{Sender: sender, Seq: seq, Annot: obsolete.TagAnnot(tag)},
+		Payload: make([]byte, 256),
+	}
+}
+
+// checkSlotsReleased asserts that every ring slot not holding a live entry
+// is the zero Item — no popped or purged payload, annotation or control
+// value stays pinned by the backing array.
+func checkSlotsReleased(t *testing.T, q *Queue) {
+	t.Helper()
+	liveSlots := make(map[uint64]bool)
+	for p := q.head; p != q.tail; p++ {
+		if q.slot(p).Kind != kindDead {
+			liveSlots[p&q.mask] = true
+		}
+	}
+	if len(liveSlots) != q.live {
+		t.Fatalf("live bookkeeping: %d live slots, Len %d", len(liveSlots), q.live)
+	}
+	for i := range q.buf {
+		if liveSlots[uint64(i)] {
+			continue
+		}
+		it := q.buf[i]
+		if it.Kind != kindDead || it.Payload != nil || it.Meta.Annot != nil || it.Ctl != nil {
+			t.Fatalf("slot %d not released: %+v", i, it)
+		}
+	}
+}
+
+// TestRingReleasesPoppedAndPurgedSlots is the regression test for payload
+// pinning: after pops and purges, the vacated ring slots must hold zero
+// Items so the popped/purged payloads become collectable.
+func TestRingReleasesPoppedAndPurgedSlots(t *testing.T) {
+	q := New(obsolete.Tagging{}, 0)
+	for i := 1; i <= 12; i++ {
+		if err := q.Append(payloadItem("p", ident.Seq(i), uint32(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSlotsReleased(t, q)
+
+	for i := 0; i < 3; i++ {
+		if _, ok := q.PopHead(); !ok {
+			t.Fatal("PopHead failed")
+		}
+		checkSlotsReleased(t, q)
+	}
+
+	// An update of tag 1 purges every queued tag-1 entry (middle slots).
+	removed := q.PurgeFor(payloadItem("p", 13, 1))
+	if len(removed) == 0 {
+		t.Fatal("expected purge to remove entries")
+	}
+	checkSlotsReleased(t, q)
+
+	// Wrap the ring across the tombstones and force compaction.
+	for i := 14; i <= 40; i++ {
+		if err := q.Append(payloadItem("p", ident.Seq(i), uint32(i%4))); err != nil {
+			t.Fatal(err)
+		}
+		checkSlotsReleased(t, q)
+	}
+
+	q.Purge()
+	checkSlotsReleased(t, q)
+
+	q.RemoveIf(func(it Item) bool { return it.Meta.Seq%2 == 0 })
+	checkSlotsReleased(t, q)
+
+	for {
+		if _, ok := q.PopHead(); !ok {
+			break
+		}
+		checkSlotsReleased(t, q)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining", q.Len())
+	}
+}
+
+// TestSnapshotDoesNotAliasBytes asserts Snapshot hands back cloned payload
+// and annotation bytes, never views into live queue storage.
+func TestSnapshotDoesNotAliasBytes(t *testing.T) {
+	q := New(obsolete.Tagging{}, 0)
+	it := payloadItem("p", 1, 7)
+	it.Payload[0] = 0xAA
+	if err := q.Append(it); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := q.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("Snapshot len %d", len(snap))
+	}
+	snap[0].Payload[0] = 0x55
+	snap[0].Meta.Annot[0] ^= 0xFF
+
+	head, _ := q.PeekHead()
+	if head.Payload[0] != 0xAA {
+		t.Fatal("Snapshot aliases live payload bytes")
+	}
+	if tag, ok := obsolete.TagOf(head.Meta); !ok || tag != 7 {
+		t.Fatal("Snapshot aliases live annotation bytes")
+	}
+
+	// Nil payloads/annotations must stay nil, not become empty slices.
+	q2 := New(nil, 0)
+	q2.ForceAppend(Item{Kind: Data, View: 1, Meta: obsolete.Msg{Sender: "p", Seq: 1}})
+	s2 := q2.Snapshot()
+	if s2[0].Payload != nil || s2[0].Meta.Annot != nil {
+		t.Fatal("Snapshot materialised nil byte slices")
+	}
+}
+
+// TestZeroKindItemRejected documents that a zero-Kind Item (the tombstone
+// marker) cannot be stored: silently accepting one would desync the live
+// counter and wedge capacity accounting.
+func TestZeroKindItemRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForceAppend of a zero-Kind Item did not panic")
+		}
+	}()
+	New(nil, 0).ForceAppend(Item{})
+}
+
+// TestIndexConsistencyAfterCompaction fills, purges and wraps the ring so
+// compaction reassigns positions, then checks the sender index still finds
+// exactly the right purge candidates.
+func TestIndexConsistencyAfterCompaction(t *testing.T) {
+	const k = 4
+	rel := obsolete.KEnumeration{K: k}
+	q := New(rel, 0)
+	tr := obsolete.NewItemTracker(obsolete.NewKTracker(k))
+
+	var last ident.Seq
+	for i := 0; i < 100; i++ {
+		seq, annot := tr.Update(uint32(i % 3))
+		it := Item{Kind: Data, View: 1, Meta: obsolete.Msg{Sender: "p", Seq: seq, Annot: annot}}
+		if _, err := q.AppendPurge(it); err != nil {
+			t.Fatal(err)
+		}
+		last = seq
+		if i%5 == 0 {
+			q.PopHead() // churn head so the ring wraps
+		}
+	}
+	// Steady state: one live update per item (minus popped ones); a final
+	// update of item 0 must purge exactly the previous update of item 0 if
+	// it is still queued — verified against a direct scan.
+	seq, annot := tr.Update(0)
+	probe := Item{Kind: Data, View: 1, Meta: obsolete.Msg{Sender: "p", Seq: seq, Annot: annot}}
+	want := 0
+	q.EachRef(func(it *Item) bool {
+		if it.Kind == Data && it.View == 1 && rel.Obsoletes(it.Meta, probe.Meta) {
+			want++
+		}
+		return true
+	})
+	if got := q.CountPurgeableFor(probe); got != want {
+		t.Fatalf("CountPurgeableFor = %d, scan says %d (last=%d)", got, want, last)
+	}
+	if got := len(q.PurgeFor(probe)); got != want {
+		t.Fatalf("PurgeFor removed %d, want %d", got, want)
+	}
+	checkSlotsReleased(t, q)
+}

@@ -1,41 +1,94 @@
 #!/bin/sh
-# bench.sh — run the figure and wire benchmarks and emit BENCH_svs.json,
-# the machine-readable perf trajectory seed (one entry per benchmark,
-# custom metrics included).
+# bench.sh — run the benchmark suite and emit BENCH_svs.json, the
+# machine-readable perf trajectory (one entry per benchmark, custom
+# metrics included).
 #
-# Usage: scripts/bench.sh [benchtime]
-#   benchtime defaults to 1x (one iteration per benchmark: a smoke pass).
-#   Use e.g. `scripts/bench.sh 2s` for statistically meaningful numbers.
+# Two benchmark classes are run differently:
+#
+#   figures — the Fig3–Fig5 scenario replays. Each iteration replays a
+#     full recorded session, so one iteration is the measurement and
+#     ns/op is not a latency figure; they run at -benchtime 1x and their
+#     custom metrics (thresholds, idle%, occupancy) are the payload.
+#   micro — the hot-path microbenchmarks (wire codec, engine multicast,
+#     view change, queue purge/pop). Single-iteration numbers are noise
+#     here, so they run at a fixed iteration count with -count repeats
+#     and the JSON records the per-metric mean over the repeats.
+#
+# Usage: scripts/bench.sh [micro-benchtime] [micro-count]
+#   defaults: 2000x iterations, 3 repeats.
 set -eu
 
 cd "$(dirname "$0")/.."
-BENCHTIME="${1:-1x}"
+MICRO_BENCHTIME="${1:-2000x}"
+MICRO_COUNT="${2:-3}"
 OUT="BENCH_svs.json"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW_FIG="$(mktemp)"
+RAW_MICRO="$(mktemp)"
+trap 'rm -f "$RAW_FIG" "$RAW_MICRO"' EXIT
 
+# go test runs straight into the raw files (not through a pipeline) so a
+# failing benchmark aborts the script under set -e instead of silently
+# producing an incomplete JSON.
+echo "== figures (scenario replays, -benchtime 1x) =="
+go test -run '^$' -bench 'BenchmarkFig' -benchtime 1x . > "$RAW_FIG" 2>&1 || {
+    cat "$RAW_FIG" >&2
+    exit 1
+}
+cat "$RAW_FIG"
+
+echo "== micro (-benchtime $MICRO_BENCHTIME -count $MICRO_COUNT, means reported) =="
 go test -run '^$' \
-    -bench 'BenchmarkFig|BenchmarkWireCodec|BenchmarkEngineMulticast|BenchmarkViewChangeLatency' \
-    -benchtime "$BENCHTIME" . | tee "$RAW"
+    -bench 'BenchmarkWireCodec|BenchmarkEngineMulticast|BenchmarkViewChangeLatency|BenchmarkQueuePurgeFor|BenchmarkQueuePopHead' \
+    -benchtime "$MICRO_BENCHTIME" -count "$MICRO_COUNT" -benchmem . > "$RAW_MICRO" 2>&1 || {
+    cat "$RAW_MICRO" >&2
+    exit 1
+}
+cat "$RAW_MICRO"
 
-awk -v benchtime="$BENCHTIME" '
-BEGIN {
-    printf "{\n  \"source\": \"scripts/bench.sh\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", benchtime
-    n = 0
-}
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-    if (n++) printf ","
-    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2
-    m = 0
-    for (i = 3; i + 1 <= NF; i += 2) {
-        if (m++) printf ", "
-        printf "\"%s\": %s", $(i + 1), $i
+# emit_entries CLASS FILE — one JSON object line per benchmark name;
+# repeated runs of the same name (micro -count) are averaged per metric.
+emit_entries() {
+    awk -v class="$1" '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+        if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+        iters[name] = $2
+        runs[name]++
+        for (i = 3; i + 1 <= NF; i += 2) {
+            metric = $(i + 1)
+            key = name SUBSEP metric
+            if (!(key in msum)) mlist[name] = mlist[name] SUBSEP metric
+            msum[key] += $i
+            mcnt[key]++
+        }
     }
-    printf "}}"
+    END {
+        for (j = 1; j <= n; j++) {
+            name = order[j]
+            printf "    {\"name\": \"%s\", \"class\": \"%s\", \"iterations\": %s, \"runs\": %d, \"metrics\": {",
+                name, class, iters[name], runs[name]
+            cnt = split(substr(mlist[name], 2), metrics, SUBSEP)
+            for (k = 1; k <= cnt; k++) {
+                key = name SUBSEP metrics[k]
+                printf "%s\"%s\": %g", (k > 1 ? ", " : ""), metrics[k], msum[key] / mcnt[key]
+            }
+            printf "}},\n"
+        }
+    }' "$2"
 }
-END { printf "\n  ]\n}\n" }
-' "$RAW" > "$OUT"
+
+{
+    printf '{\n'
+    printf '  "source": "scripts/bench.sh",\n'
+    printf '  "runs": {\n'
+    printf '    "figures": {"benchtime": "1x", "count": 1, "note": "Fig3-Fig5 scenario replays: one iteration replays a whole recorded session; the custom metrics are the measurement, ns/op is not a hot-path latency"},\n'
+    printf '    "micro": {"benchtime": "%s", "count": %s, "note": "hot-path microbenchmarks: fixed iteration count, per-metric means over count runs"}\n' "$MICRO_BENCHTIME" "$MICRO_COUNT"
+    printf '  },\n'
+    printf '  "benchmarks": [\n'
+    { emit_entries figure "$RAW_FIG"; emit_entries micro "$RAW_MICRO"; } | sed '$ s/,$//'
+    printf '  ]\n'
+    printf '}\n'
+} > "$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
