@@ -383,7 +383,7 @@ func BenchmarkConsensusDecision(b *testing.B) {
 			b.Fatal(err)
 		}
 		det := fd.NewManual()
-		svc := consensus.New(ep, det)
+		svc := consensus.New(ep, det, ident.NodeGroup)
 		svc.Start()
 		svcs[p] = svc
 		defer svc.Stop()
@@ -488,6 +488,169 @@ func BenchmarkEngineMulticastReliable(b *testing.B) {
 		meta := obsolete.Msg{Sender: "p0", Seq: seq}
 		if _, err := producer.Multicast(ctx, meta, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// multiGroupEndpoints attaches one endpoint per member, either to a
+// shared MemNetwork or to real localhost TCPNetworks (one listener per
+// member, fully meshed — the shared-connection deployment shape).
+func multiGroupEndpoints(b *testing.B, all ident.PIDs, tcp bool) map[ident.PID]transport.Endpoint {
+	b.Helper()
+	eps := make(map[ident.PID]transport.Endpoint, len(all))
+	if !tcp {
+		net := transport.NewMemNetwork()
+		for _, p := range all {
+			ep, err := net.Endpoint(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eps[p] = ep
+		}
+		return eps
+	}
+	nets := make(map[ident.PID]*transport.TCPNetwork, len(all))
+	for _, p := range all {
+		n, err := transport.NewTCPNetwork(p, "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets[p] = n
+		eps[p] = n
+	}
+	for _, p := range all {
+		for _, q := range all {
+			if p != q {
+				nets[p].AddPeer(q, nets[q].Addr())
+			}
+		}
+	}
+	return eps
+}
+
+// multiGroupNodes builds `members` nodes over one shared endpoint each
+// (MemNetwork or localhost TCP), every node hosting `groups` independent
+// semantic groups, with fast consumer loops on every (member, group). It
+// returns the producer-side groups (one per group id, all on node 0),
+// the producer node's endpoint (for wire stats), and a shutdown func.
+func multiGroupNodes(b *testing.B, members, groups, buffer int, tcp bool) ([]*core.Group, transport.Endpoint, func()) {
+	b.Helper()
+	var pids []ident.PID
+	for i := 0; i < members; i++ {
+		pids = append(pids, ident.PID(fmt.Sprintf("p%d", i)))
+	}
+	all := ident.NewPIDs(pids...)
+	view := core.View{ID: 1, Members: all}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	eps := multiGroupEndpoints(b, all, tcp)
+	var nodes []*core.Node
+	var dets []*fd.Manual
+	var wg sync.WaitGroup
+	producers := make([]*core.Group, 0, groups)
+	for _, p := range all {
+		ep := eps[p]
+		det := fd.NewManual()
+		node, err := core.NewNode(core.NodeConfig{Self: p, Endpoint: ep, Detector: det})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		dets = append(dets, det)
+		for gid := ident.GroupID(1); gid <= ident.GroupID(groups); gid++ {
+			g, err := node.Create(gid, core.GroupConfig{
+				InitialView: view, Relation: obsolete.KEnumeration{K: 2 * buffer},
+				ToDeliverCap: buffer, OutgoingCap: buffer, Window: buffer,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p == all[0] {
+				producers = append(producers, g)
+			}
+			wg.Add(1)
+			go func(g *core.Group) {
+				defer wg.Done()
+				for {
+					if _, err := g.Deliver(ctx); err != nil {
+						return
+					}
+				}
+			}(g)
+		}
+	}
+	stop := func() {
+		cancel()
+		for _, n := range nodes {
+			n.Close()
+		}
+		wg.Wait()
+		for _, d := range dets {
+			d.Stop()
+		}
+	}
+	return producers, eps[all[0]], stop
+}
+
+// BenchmarkMultiGroup drives M groups × 4 members in one process over
+// shared endpoints — the Node runtime's sharded deployment shape — with
+// one producer goroutine per group. b.N counts messages *per group*, so
+// every sub-benchmark does identical per-group work and the numbers
+// compose: ns/op is the wall time per per-group message, and agg-msgs/s
+// is the node's aggregate multicast throughput, whose growth with the
+// group count is the members×groups scaling the multi-group runtime is
+// for. The net=mem series isolates protocol cost; net=tcp runs the real
+// deployment shape, where sharing one connection pair per peer lets the
+// frame batcher coalesce every co-hosted group's traffic into the same
+// write syscalls (coalesce-envs/frame reports the achieved factor).
+func BenchmarkMultiGroup(b *testing.B) {
+	const members = 4
+	const buffer = 32
+	for _, netKind := range []string{"mem", "tcp"} {
+		for _, groups := range []int{1, 4, 16} {
+			netKind, groups := netKind, groups
+			b.Run(fmt.Sprintf("net=%s/groups=%d", netKind, groups), func(b *testing.B) {
+				benchMultiGroup(b, members, groups, buffer, netKind == "tcp")
+			})
+		}
+	}
+}
+
+func benchMultiGroup(b *testing.B, members, groups, buffer int, tcp bool) {
+	producers, producerEP, stop := multiGroupNodes(b, members, groups, buffer, tcp)
+	defer stop()
+	var before transport.TCPStats
+	tcpNet, _ := producerEP.(*transport.TCPNetwork)
+	if tcpNet != nil {
+		before = tcpNet.Stats()
+	}
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, g := range producers {
+		wg.Add(1)
+		go func(g *core.Group) {
+			defer wg.Done()
+			tr := obsolete.NewItemTracker(obsolete.NewKTracker(2 * buffer))
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				seq, annot := tr.Update(uint32(i % 8))
+				meta := obsolete.Msg{Sender: "p0", Seq: seq, Annot: annot}
+				if _, err := g.Multicast(ctx, meta, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N*groups)/elapsed.Seconds(), "agg-msgs/s")
+	if tcpNet != nil {
+		st := tcpNet.Stats()
+		frames := st.FramesSent - before.FramesSent
+		if frames > 0 {
+			b.ReportMetric(float64(st.EnvelopesSent-before.EnvelopesSent)/float64(frames), "coalesce-envs/frame")
 		}
 	}
 }

@@ -1,13 +1,16 @@
-// Command svs-demo runs a live SVS group (real protocol engines over the
-// in-memory transport, with heartbeat failure detection) under the
-// calibrated game workload, with one deliberately slow member. It prints
-// per-member statistics, then triggers a view change and reports the
+// Command svs-demo runs a live multi-group SVS node cluster (real
+// protocol engines over the in-memory transport, one shared endpoint and
+// one heartbeat failure detector per node) under the calibrated game
+// workload, with one deliberately slow member. Every member hosts all
+// -groups group instances on its single endpoint — the sharded deployment
+// shape core.Node provides. It prints per-member statistics aggregated
+// over the groups, then triggers a view change in group 1 and reports the
 // flush size — showing on a running system what the simulation figures
-// quantify.
+// quantify, and that the other groups' views never move.
 //
 // Usage:
 //
-//	svs-demo -members 4 -mode svs -seconds 5 -slowdelay 20ms
+//	svs-demo -members 4 -groups 4 -mode svs -seconds 5 -slowdelay 20ms
 //	svs-demo -mode vs -seconds 5       # same run under classic VS
 package main
 
@@ -30,19 +33,23 @@ import (
 func main() {
 	var (
 		members   = flag.Int("members", 4, "group size")
+		groups    = flag.Int("groups", 1, "independent SVS groups hosted per node")
 		mode      = flag.String("mode", "svs", "protocol: svs (semantic) or vs (reliable)")
 		seconds   = flag.Float64("seconds", 5, "production duration")
 		slowDelay = flag.Duration("slowdelay", 20*time.Millisecond, "per-delivery slowness of the slow member")
 		buffer    = flag.Int("buffer", 16, "delivery/outgoing buffer size")
 	)
 	flag.Parse()
-	if err := run(*members, *mode, *seconds, *slowDelay, *buffer); err != nil {
+	if err := run(*members, *groups, *mode, *seconds, *slowDelay, *buffer); err != nil {
 		fmt.Fprintf(os.Stderr, "svs-demo: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(members int, mode string, seconds float64, slowDelay time.Duration, buffer int) error {
+func run(members, groups int, mode string, seconds float64, slowDelay time.Duration, buffer int) error {
+	if groups < 1 {
+		return fmt.Errorf("need at least one group")
+	}
 	k := 2 * buffer
 	var rel obsolete.Relation
 	switch mode {
@@ -59,62 +66,77 @@ func run(members int, mode string, seconds float64, slowDelay time.Duration, buf
 	for i := 0; i < members; i++ {
 		pids = append(pids, ident.PID(fmt.Sprintf("p%d", i)))
 	}
-	group := ident.NewPIDs(pids...)
-	view := core.View{ID: 1, Members: group}
+	all := ident.NewPIDs(pids...)
+	view := core.View{ID: 1, Members: all}
 
+	// One Node per member: shared endpoint, one heartbeat detector, all
+	// groups on top.
 	type member struct {
 		pid       ident.PID
-		eng       *core.Engine
-		det       *fd.Heartbeat
+		node      *core.Node
+		groups    map[ident.GroupID]*core.Group
 		delivered int
-		installed core.View
 	}
 	ms := make([]*member, 0, members)
 	var mu sync.Mutex
 
-	for _, p := range group {
+	for _, p := range all {
 		ep, err := net.Endpoint(p)
 		if err != nil {
 			return err
 		}
-		det := fd.NewHeartbeat(ep, group, fd.HeartbeatOptions{Interval: 20 * time.Millisecond})
-		eng, err := core.New(core.Config{
-			Self: p, Endpoint: ep, Detector: det, InitialView: view,
-			Relation: rel, ToDeliverCap: buffer, OutgoingCap: buffer, Window: buffer,
-			StabilityInterval: 50 * time.Millisecond,
+		node, err := core.NewNode(core.NodeConfig{
+			Self:      p,
+			Endpoint:  ep,
+			Heartbeat: fd.HeartbeatOptions{Interval: 20 * time.Millisecond},
 		})
 		if err != nil {
 			return err
 		}
-		det.Start()
-		if err := eng.Start(); err != nil {
-			return err
-		}
-		ms = append(ms, &member{pid: p, eng: eng, det: det, installed: view})
+		ms = append(ms, &member{
+			pid:    p,
+			node:   node,
+			groups: make(map[ident.GroupID]*core.Group, groups),
+		})
 	}
 	defer func() {
 		for _, m := range ms {
-			m.eng.Stop()
-			m.det.Stop()
+			m.node.Close()
 		}
 	}()
+	for gid := ident.GroupID(1); gid <= ident.GroupID(groups); gid++ {
+		for _, m := range ms {
+			g, err := m.node.Create(gid, core.GroupConfig{
+				InitialView: view, Relation: rel,
+				ToDeliverCap: buffer, OutgoingCap: buffer, Window: buffer,
+				StabilityInterval: 50 * time.Millisecond,
+			})
+			if err != nil {
+				return err
+			}
+			m.groups[gid] = g
+		}
+	}
 
-	// Delivery loops: the last member is the slow one.
+	// Delivery loops per (member, group): the last member is slow in
+	// every group it hosts.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var wg sync.WaitGroup
 	for i, m := range ms {
 		slow := i == len(ms)-1
-		wg.Add(1)
-		go func(m *member, slow bool) {
-			defer wg.Done()
-			for {
-				d, err := m.eng.Deliver(ctx)
-				if err != nil {
-					return
-				}
-				switch d.Kind {
-				case core.DeliverData:
+		for _, g := range m.groups {
+			wg.Add(1)
+			go func(m *member, g *core.Group, slow bool) {
+				defer wg.Done()
+				for {
+					d, err := g.Deliver(ctx)
+					if err != nil {
+						return
+					}
+					if d.Kind != core.DeliverData {
+						continue // view installs are reported via Stats
+					}
 					mu.Lock()
 					m.delivered++
 					mu.Unlock()
@@ -125,48 +147,65 @@ func run(members int, mode string, seconds float64, slowDelay time.Duration, buf
 							return
 						}
 					}
-				case core.DeliverView, core.DeliverExpelled:
-					mu.Lock()
-					m.installed = d.NewView
-					mu.Unlock()
 				}
-			}
-		}(m, slow)
+			}(m, g, slow)
+		}
 	}
 
-	// Producer: p0 replays the calibrated trace in real time (scaled to
-	// the requested duration).
+	// Producers: p0 replays the calibrated trace in real time (scaled to
+	// the requested duration) into every group concurrently.
 	p := trace.DefaultParams()
 	p.Rounds = int(seconds * p.RoundsPerSec)
 	tr := trace.Generate(p)
 	msgs := tr.Annotate(ms[0].pid, k)
-	fmt.Printf("mode=%s members=%d buffer=%d k=%d: producing %d messages over %.1fs (slow member: +%v per delivery)\n",
-		mode, members, buffer, k, len(msgs), seconds, slowDelay)
+	fmt.Printf("mode=%s members=%d groups=%d buffer=%d k=%d: producing %d messages/group over %.1fs (slow member: +%v per delivery)\n",
+		mode, members, groups, buffer, k, len(msgs), seconds, slowDelay)
 
 	start := time.Now()
+	var prodWG sync.WaitGroup
+	errC := make(chan error, groups)
 	produced := 0
-	for _, m := range msgs {
-		wait := time.Duration(m.Time*float64(time.Second)) - time.Since(start)
-		if wait > 0 {
-			time.Sleep(wait)
-		}
-		if _, err := ms[0].eng.Multicast(ctx, m.Meta, nil); err != nil {
-			return fmt.Errorf("multicast: %w", err)
-		}
-		produced++
+	for gid := ident.GroupID(1); gid <= ident.GroupID(groups); gid++ {
+		prodWG.Add(1)
+		go func(g *core.Group) {
+			defer prodWG.Done()
+			for _, m := range msgs {
+				wait := time.Duration(m.Time*float64(time.Second)) - time.Since(start)
+				if wait > 0 {
+					time.Sleep(wait)
+				}
+				if _, err := g.Multicast(ctx, m.Meta, nil); err != nil {
+					errC <- fmt.Errorf("group %d multicast: %w", g.ID(), err)
+					return
+				}
+				mu.Lock()
+				produced++
+				mu.Unlock()
+			}
+		}(ms[0].groups[gid])
+	}
+	prodWG.Wait()
+	select {
+	case err := <-errC:
+		return err
+	default:
 	}
 	wall := time.Since(start)
-	fmt.Printf("produced %d messages in %v (ideal %.1fs) — extra time is flow-control blocking\n",
-		produced, wall.Round(time.Millisecond), seconds)
+	mu.Lock()
+	total := produced
+	mu.Unlock()
+	fmt.Printf("produced %d messages (%d groups × %d) in %v (ideal %.1fs) — %.0f msgs/s aggregate; extra time is flow-control blocking\n",
+		total, groups, len(msgs), wall.Round(time.Millisecond), seconds, float64(total)/wall.Seconds())
 
-	// Let the group settle briefly, then change the view.
+	// Let the cluster settle briefly, then change the view in group 1
+	// only: the other groups' views must not move.
 	time.Sleep(200 * time.Millisecond)
-	if err := ms[0].eng.RequestViewChange(); err != nil {
+	if err := ms[0].groups[1].RequestViewChange(); err != nil {
 		return err
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		st := ms[0].eng.Stats()
+		st := ms[0].groups[1].Stats()
 		if st.View >= 2 || time.Now().After(deadline) {
 			break
 		}
@@ -174,9 +213,17 @@ func run(members int, mode string, seconds float64, slowDelay time.Duration, buf
 	}
 
 	fmt.Printf("\n%-6s %-10s %-10s %-12s %-12s %-10s %-10s\n",
-		"member", "delivered", "purged", "purged-out", "flush-added", "view", "role")
+		"member", "delivered", "purged", "purged-out", "flush-added", "views", "role")
 	for i, m := range ms {
-		st := m.eng.Stats()
+		var purged, purgedOut, flushAdded uint64
+		viewSum := ident.ViewID(0)
+		for _, g := range m.groups {
+			st := g.Stats()
+			purged += st.PurgedToDeliver
+			purgedOut += st.PurgedOutgoing
+			flushAdded += st.FlushAdded
+			viewSum += st.View
+		}
 		role := "fast"
 		if i == 0 {
 			role = "producer"
@@ -188,11 +235,19 @@ func run(members int, mode string, seconds float64, slowDelay time.Duration, buf
 		delivered := m.delivered
 		mu.Unlock()
 		fmt.Printf("%-6s %-10d %-10d %-12d %-12d %-10d %-10s\n",
-			m.pid, delivered, st.PurgedToDeliver, st.PurgedOutgoing, st.FlushAdded, st.View, role)
+			m.pid, delivered, purged, purgedOut, flushAdded, viewSum, role)
 	}
-	st := ms[0].eng.Stats()
-	fmt.Printf("\nview change flush set: %d messages; stability pruned %d history entries\n",
+	st := ms[0].groups[1].Stats()
+	fmt.Printf("\ngroup 1 view change flush set: %d messages; stability pruned %d history entries\n",
 		st.LastFlushLen, st.StablePruned)
+	for gid := ident.GroupID(2); gid <= ident.GroupID(groups); gid++ {
+		if v := ms[0].groups[gid].Stats().View; v != 1 {
+			return fmt.Errorf("group %d view moved to %d on group 1's view change", gid, v)
+		}
+	}
+	if groups > 1 {
+		fmt.Printf("groups 2..%d stayed at view 1: group lifecycles are independent\n", groups)
+	}
 	fmt.Println("(purging + stability keep buffers small ⇒ cheap view changes, §5.4)")
 	cancel()
 	wg.Wait()

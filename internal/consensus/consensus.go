@@ -22,7 +22,6 @@ package consensus
 
 import (
 	"context"
-	"encoding/gob"
 	"fmt"
 	"sync"
 	"time"
@@ -71,7 +70,6 @@ type Msg struct {
 }
 
 func init() {
-	gob.Register(Msg{}) // legacy CodecGob transport mode
 	codec.Register[Msg](codec.TConsensusMsg, appendMsg, readMsg)
 }
 
@@ -93,10 +91,14 @@ func readMsg(r *codec.Reader) (Msg, error) {
 	return m, r.Err()
 }
 
-// Service multiplexes consensus instances over one endpoint.
+// Service multiplexes the consensus instances of one group over a shared
+// endpoint: all its traffic travels in the group's Consensus inbox, so a
+// node hosting many groups runs one Service per group and their rounds
+// never interfere (instance ids only need to be unique within a group).
 type Service struct {
-	ep  transport.Endpoint
-	det fd.Detector
+	ep    transport.Endpoint
+	det   fd.Detector
+	group ident.GroupID
 	// poll is how often waiting phases re-check the failure detector.
 	poll time.Duration
 
@@ -107,11 +109,13 @@ type Service struct {
 	wg        sync.WaitGroup
 }
 
-// New returns a stopped service; call Start.
-func New(ep transport.Endpoint, det fd.Detector) *Service {
+// New returns a stopped service for one group's consensus instances;
+// call Start.
+func New(ep transport.Endpoint, det fd.Detector, group ident.GroupID) *Service {
 	return &Service{
 		ep:        ep,
 		det:       det,
+		group:     group,
 		poll:      2 * time.Millisecond,
 		instances: make(map[string]*instance),
 		done:      make(chan struct{}),
@@ -234,7 +238,7 @@ func (s *Service) instance(id string) *instance {
 // dispatch routes incoming wire messages to their instances.
 func (s *Service) dispatch() {
 	defer s.wg.Done()
-	inbox := s.ep.Inbox(transport.Consensus)
+	inbox := s.ep.Inbox(s.group, transport.Consensus)
 	for {
 		select {
 		case <-s.done:
@@ -286,7 +290,7 @@ func (in *instance) deliver(from ident.PID, m Msg) {
 		dec := in.decision
 		in.mu.Unlock()
 		if m.Type != msgDecide {
-			_ = in.svc.ep.Send(from, transport.Consensus, Msg{
+			_ = in.svc.ep.Send(from, in.svc.group, transport.Consensus, Msg{
 				Instance: in.id, Type: msgDecide, Value: dec,
 			})
 		}
@@ -387,7 +391,7 @@ func (in *instance) run() {
 
 // send transmits m, delivering locally without the network round-trip.
 func (in *instance) send(to ident.PID, m Msg) {
-	_ = in.svc.ep.Send(to, transport.Consensus, m)
+	_ = in.svc.ep.Send(to, in.svc.group, transport.Consensus, m)
 }
 
 // takeMatching removes and returns buffered messages matching pred. It
@@ -425,7 +429,7 @@ func (in *instance) decideLocked(v []byte) {
 	go func() {
 		for _, p := range parts {
 			if p != self {
-				_ = in.svc.ep.Send(p, transport.Consensus, Msg{
+				_ = in.svc.ep.Send(p, in.svc.group, transport.Consensus, Msg{
 					Instance: in.id, Type: msgDecide, Value: v,
 				})
 			}

@@ -17,7 +17,15 @@ type Config struct {
 	// Self is this process's identifier; it must be a member of
 	// InitialView and equal Endpoint.Self().
 	Self ident.PID
-	// Endpoint connects the process to its peers.
+	// Group identifies the SVS group this engine is a member of. All of
+	// the engine's traffic travels in this group's transport inboxes, so
+	// many engines can share one Endpoint (see Node). The zero value —
+	// ident.NodeGroup — is fine for standalone single-group deployments;
+	// the Node runtime reserves it for node-scoped traffic and assigns
+	// application groups non-zero identifiers.
+	Group ident.GroupID
+	// Endpoint connects the process to its peers; it may be shared with
+	// other groups and with the node's failure detector.
 	Endpoint transport.Endpoint
 	// Detector is the failure detector oracle. The engine consumes its
 	// Events channel.

@@ -139,11 +139,14 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Make the group's inboxes exist before any peer traffic can race the
+	// protocol loop's first read.
+	cfg.Endpoint.Register(cfg.Group)
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		cfg:        cfg,
 		rel:        cfg.Relation,
-		cons:       consensus.New(cfg.Endpoint, cfg.Detector),
+		cons:       consensus.New(cfg.Endpoint, cfg.Detector, cfg.Group),
 		reqC:       make(chan *request, 64),
 		decC:       make(chan decision, 4),
 		stopC:      make(chan struct{}),
@@ -283,8 +286,8 @@ func (e *Engine) submit(ctx context.Context, req *request) error {
 // run is the protocol loop: a single goroutine owning all state.
 func (e *Engine) run() {
 	defer close(e.doneC)
-	dataIn := e.cfg.Endpoint.Inbox(transport.Data)
-	ctlIn := e.cfg.Endpoint.Inbox(transport.Ctl)
+	dataIn := e.cfg.Endpoint.Inbox(e.cfg.Group, transport.Data)
+	ctlIn := e.cfg.Endpoint.Inbox(e.cfg.Group, transport.Ctl)
 	fdEv := e.cfg.Detector.Events()
 	var stabC <-chan time.Time
 	if e.stabTick != nil {

@@ -98,7 +98,7 @@ func (f *flowState) freed(p ident.PID, e *Engine) {
 	if f.owed[p] >= batch {
 		n := f.owed[p]
 		f.owed[p] = 0
-		_ = e.cfg.Endpoint.Send(p, transport.Ctl, CreditMsg{View: e.cv.ID, Credits: n})
+		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, CreditMsg{View: e.cv.ID, Credits: n})
 	}
 }
 
@@ -116,7 +116,7 @@ func (e *Engine) drainOutgoing(p ident.PID) {
 		if !e.flow.takeCredit(p) {
 			break
 		}
-		_ = e.cfg.Endpoint.Send(p, transport.Data, DataMsg{
+		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Data, DataMsg{
 			View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload,
 		})
 	}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+	"repro/internal/transport"
+)
+
+// Node is the multi-group runtime: it hosts any number of independent SVS
+// group instances on one shared transport endpoint. The paper's motivating
+// workload (§5) is naturally many small groups — rooms, regions, topics —
+// and a Node is what lets one OS process serve them all instead of one
+// process per group.
+//
+// The Node owns the pieces that are per-node, not per-group:
+//
+//   - the transport endpoint, whose (GroupID, Channel) inboxes demultiplex
+//     one connection pair per peer across every shared group;
+//   - a single failure detector (by default a heartbeat detector beating
+//     once per peer in ident.NodeGroup, no matter how many groups share
+//     that peer), whose suspicions fan out to every hosted group through
+//     an fd.Fanout.
+//
+// Everything else stays per-group and fully isolated: each group runs its
+// own Engine (protocol loop, delivery queue, flow-control windows,
+// per-peer outgoing queues) and its own consensus service, keyed by group
+// on the wire. A blocked or slow group therefore never delays another
+// group's data or control plane — the §5.3 buffer-separation rule lifted
+// to group granularity.
+type Node struct {
+	cfg NodeConfig
+	hb  *fd.Heartbeat // non-nil when the node owns its detector
+	det fd.Detector
+	fan *fd.Fanout
+
+	mu     sync.Mutex
+	groups map[ident.GroupID]*Group
+	// groupPeers tracks each hosted group's *current* peers (initial
+	// view at Create, then every installed view via groupDetector): the
+	// node-owned heartbeat monitors exactly the union, so a peer evicted
+	// from its last shared group stops being beaten and re-dialed.
+	groupPeers map[ident.GroupID]ident.PIDs
+	closed     bool
+}
+
+// NodeConfig assembles a Node.
+type NodeConfig struct {
+	// Self is this process's identifier; it must equal Endpoint.Self().
+	Self ident.PID
+	// Endpoint is the shared transport attachment. The Node owns it:
+	// Close closes it.
+	Endpoint transport.Endpoint
+	// Detector optionally supplies the shared failure detector (already
+	// started). When nil the Node runs its own fd.Heartbeat over the
+	// endpoint, monitoring the union of all hosted groups' initial
+	// memberships, and stops it on Close.
+	Detector fd.Detector
+	// Heartbeat tunes the node-owned heartbeat detector (ignored when
+	// Detector is set).
+	Heartbeat fd.HeartbeatOptions
+}
+
+// GroupConfig configures one hosted group; it is Config minus the fields
+// the Node supplies (Self, Group, Endpoint, Detector).
+type GroupConfig struct {
+	// InitialView is the agreed first view (same at every member).
+	InitialView View
+	// Relation is the obsolescence relation; nil means classic VS.
+	Relation obsolete.Relation
+	// ToDeliverCap / OutgoingCap / Window bound this group's protocol
+	// buffers, independently of every other group (see Config).
+	ToDeliverCap int
+	OutgoingCap  int
+	Window       int
+	// AutoEvict triggers eviction view changes on suspicion (see Config).
+	AutoEvict bool
+	// StabilityInterval enables reception-frontier gossip (see Config).
+	StabilityInterval time.Duration
+}
+
+// Group is one hosted group: the Engine facade (Multicast, Deliver,
+// RequestViewChange, View, Stats) plus the node-side lifecycle.
+type Group struct {
+	*Engine
+
+	node *Node
+	id   ident.GroupID
+	tap  *fd.Tap
+}
+
+// groupDetector is the Detector handed to one group's engine: the shared
+// detector's Tap for events and queries, plus the view-install SetPeers
+// hook (protocol.go), which reports the group's current membership back
+// to the node so the shared heartbeat tracks view changes — without it,
+// a peer evicted from every group would be monitored (and re-dialed)
+// forever.
+type groupDetector struct {
+	*fd.Tap
+	node *Node
+	id   ident.GroupID
+}
+
+// SetPeers reports the group's newly installed membership to the node.
+func (d *groupDetector) SetPeers(members ident.PIDs) {
+	d.node.setGroupPeers(d.id, members)
+}
+
+// ID returns the group's identifier.
+func (g *Group) ID() ident.GroupID { return g.id }
+
+// NewNode returns a running node hosting no groups yet.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("core: node config: Self is required")
+	}
+	if cfg.Endpoint == nil {
+		return nil, fmt.Errorf("core: node config: Endpoint is required")
+	}
+	if cfg.Endpoint.Self() != cfg.Self {
+		return nil, fmt.Errorf("core: node config: Endpoint.Self() %q != Self %q", cfg.Endpoint.Self(), cfg.Self)
+	}
+	n := &Node{
+		cfg:        cfg,
+		det:        cfg.Detector,
+		groups:     make(map[ident.GroupID]*Group),
+		groupPeers: make(map[ident.GroupID]ident.PIDs),
+	}
+	if n.det == nil {
+		n.hb = fd.NewHeartbeat(cfg.Endpoint, nil, cfg.Heartbeat)
+		n.hb.Start()
+		n.det = n.hb
+	}
+	n.fan = fd.NewFanout(n.det)
+	return n, nil
+}
+
+// Self returns this node's process identifier.
+func (n *Node) Self() ident.PID { return n.cfg.Self }
+
+// Detector returns the shared failure detector.
+func (n *Node) Detector() fd.Detector { return n.det }
+
+// Groups returns the identifiers of the hosted groups, sorted.
+func (n *Node) Groups() []ident.GroupID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ident.GroupID, 0, len(n.groups))
+	for g := range n.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Group returns the hosted group g, if any.
+func (n *Node) Group(g ident.GroupID) (*Group, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	grp, ok := n.groups[g]
+	return grp, ok
+}
+
+// Create joins this node to group id: it registers the group's transport
+// inboxes, taps the shared failure detector, and starts a group-scoped
+// engine. Every member of the group must Create it with the same id and
+// InitialView.
+func (n *Node) Create(id ident.GroupID, gc GroupConfig) (*Group, error) {
+	if id == ident.NodeGroup {
+		return nil, fmt.Errorf("core: group id %d is reserved for node-scoped traffic", id)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("core: node closed")
+	}
+	if _, dup := n.groups[id]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("core: group %d already hosted", id)
+	}
+	n.mu.Unlock()
+
+	// Inboxes must exist before the first peer envelope can arrive for
+	// the group (engine.New registers too; this keeps the window closed
+	// even if construction fails midway and stray traffic shows up).
+	n.cfg.Endpoint.Register(id)
+	tap := n.fan.Tap()
+	eng, err := New(Config{
+		Self:              n.cfg.Self,
+		Group:             id,
+		Endpoint:          n.cfg.Endpoint,
+		Detector:          &groupDetector{Tap: tap, node: n, id: id},
+		InitialView:       gc.InitialView,
+		Relation:          gc.Relation,
+		ToDeliverCap:      gc.ToDeliverCap,
+		OutgoingCap:       gc.OutgoingCap,
+		Window:            gc.Window,
+		AutoEvict:         gc.AutoEvict,
+		StabilityInterval: gc.StabilityInterval,
+	})
+	if err != nil {
+		tap.Stop()
+		n.deregisterIfUnhosted(id)
+		return nil, err
+	}
+	grp := &Group{Engine: eng, node: n, id: id, tap: tap}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		tap.Stop()
+		return nil, fmt.Errorf("core: node closed")
+	}
+	if _, dup := n.groups[id]; dup {
+		n.mu.Unlock()
+		tap.Stop()
+		return nil, fmt.Errorf("core: group %d already hosted", id)
+	}
+	n.groups[id] = grp
+	n.groupPeers[id] = gc.InitialView.Members.Clone().Remove(n.cfg.Self)
+	n.syncPeersLocked()
+	n.mu.Unlock()
+
+	if err := eng.Start(); err != nil {
+		grp.Leave()
+		return nil, err
+	}
+	return grp, nil
+}
+
+// deregisterIfUnhosted undoes Create's eager inbox registration on an
+// error path — unless the group is (or became) hosted, in which case the
+// inboxes belong to the live engine.
+func (n *Node) deregisterIfUnhosted(id ident.GroupID) {
+	n.mu.Lock()
+	_, hosted := n.groups[id]
+	n.mu.Unlock()
+	if !hosted {
+		n.cfg.Endpoint.Deregister(id)
+	}
+}
+
+// setGroupPeers records group id's newly installed membership and
+// re-syncs the heartbeat peer set. Calls for groups no longer hosted
+// (a view install racing Leave) are ignored.
+func (n *Node) setGroupPeers(id ident.GroupID, members ident.PIDs) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, hosted := n.groups[id]; !hosted {
+		return
+	}
+	n.groupPeers[id] = members.Clone().Remove(n.cfg.Self)
+	n.syncPeersLocked()
+}
+
+// syncPeersLocked pushes the union of all groups' current peers into the
+// node-owned heartbeat detector. Callers hold n.mu.
+func (n *Node) syncPeersLocked() {
+	if n.hb == nil {
+		return
+	}
+	var union ident.PIDs
+	for _, peers := range n.groupPeers {
+		union = union.Union(peers)
+	}
+	n.hb.SetPeers(union)
+}
+
+// Leave detaches the group from its node: the engine stops, the detector
+// tap closes, the transport inboxes are deregistered (stray traffic for
+// the group is dropped and counted from then on), and peers no group
+// shares anymore stop being monitored. Leave is idempotent.
+func (g *Group) Leave() {
+	n := g.node
+	n.mu.Lock()
+	if n.groups[g.id] != g {
+		n.mu.Unlock()
+		return // already left (or superseded)
+	}
+	delete(n.groups, g.id)
+	delete(n.groupPeers, g.id)
+	n.syncPeersLocked()
+	n.mu.Unlock()
+
+	g.Engine.Stop()
+	g.tap.Stop()
+	n.cfg.Endpoint.Deregister(g.id)
+}
+
+// Close shuts the node down: every hosted group leaves, the detector
+// fan-out stops, the node-owned heartbeat (if any) stops, and the shared
+// endpoint closes. Close is idempotent.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	groups := make([]*Group, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
+	}
+	n.groups = make(map[ident.GroupID]*Group)
+	n.groupPeers = make(map[ident.GroupID]ident.PIDs)
+	n.mu.Unlock()
+
+	for _, g := range groups {
+		g.Engine.Stop()
+		g.tap.Stop()
+		n.cfg.Endpoint.Deregister(g.id)
+	}
+	n.fan.Stop()
+	if n.hb != nil {
+		n.hb.Stop()
+	}
+	return n.cfg.Endpoint.Close()
+}

@@ -101,7 +101,7 @@ func (e *Engine) commitMulticast(req *request) {
 // when p is out of window credits.
 func (e *Engine) sendData(p ident.PID, dm DataMsg) {
 	if e.flow.takeCredit(p) {
-		_ = e.cfg.Endpoint.Send(p, transport.Data, dm)
+		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Data, dm)
 		return
 	}
 	out := e.flow.pending(p)
@@ -282,7 +282,7 @@ func (e *Engine) triggerViewChange(leave ident.PIDs) error {
 	}
 	init := InitMsg{View: e.cv.ID, Leave: leave}
 	for _, p := range e.cv.Members {
-		_ = e.cfg.Endpoint.Send(p, transport.Ctl, init)
+		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, init)
 	}
 	return nil
 }
@@ -369,7 +369,7 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 		// Forward so every correct process initiates even if the
 		// initiator crashed mid-dissemination.
 		for _, p := range e.cv.Members {
-			_ = e.cfg.Endpoint.Send(p, transport.Ctl, m)
+			_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, m)
 		}
 	}
 	e.blocked = true
@@ -378,7 +378,7 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 
 	pred := PredMsg{View: e.cv.ID, Msgs: e.localPred()}
 	for _, p := range e.cv.Members {
-		_ = e.cfg.Endpoint.Send(p, transport.Ctl, pred)
+		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, pred)
 	}
 
 	// Watch for the decision even if we never reach the propose condition

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"encoding/gob"
-
 	"repro/internal/ident"
 	"repro/internal/queue"
 	"repro/internal/transport"
@@ -34,8 +32,6 @@ type StableMsg struct {
 	Recv map[ident.PID]ident.Seq
 }
 
-func init() { gob.Register(StableMsg{}) }
-
 // gossipStability broadcasts this process's reception frontier.
 func (e *Engine) gossipStability() {
 	if e.expelled || e.blocked {
@@ -55,7 +51,7 @@ func (e *Engine) gossipStability() {
 			e.onStable(p, m)
 			continue
 		}
-		_ = e.cfg.Endpoint.Send(p, transport.Ctl, m)
+		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, m)
 	}
 }
 

@@ -15,24 +15,12 @@ import (
 
 // TestGroupOverTCP runs a full group — engines, heartbeat failure
 // detectors, consensus — over real TCP sockets on localhost: multicast
-// with purging semantics, then a view change. It runs once per wire
-// codec: the batching binary codec (default) and the legacy gob fallback
-// must each interoperate with themselves.
+// with purging semantics, then a view change.
 func TestGroupOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP integration skipped in -short mode")
 	}
-	for _, tc := range []struct {
-		name string
-		c    transport.Codec
-	}{
-		{"binary", transport.CodecBinary},
-		{"gob", transport.CodecGob},
-	} {
-		t.Run(tc.name, func(t *testing.T) {
-			groupOverTCP(t, transport.TCPOptions{Codec: tc.c})
-		})
-	}
+	groupOverTCP(t, transport.TCPOptions{})
 }
 
 func groupOverTCP(t *testing.T, opts transport.TCPOptions) {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -46,13 +44,6 @@ type CreditMsg struct {
 }
 
 func init() {
-	// gob registration is kept for one release so TCPNetwork's CodecGob
-	// fallback still works; the binary codec below is the default path.
-	gob.Register(DataMsg{})
-	gob.Register(InitMsg{})
-	gob.Register(PredMsg{})
-	gob.Register(CreditMsg{})
-
 	codec.Register[DataMsg](codec.TDataMsg, appendDataMsg, readDataMsgStrict)
 	codec.Register[InitMsg](codec.TInitMsg, appendInitMsg, readInitMsg)
 	codec.Register[PredMsg](codec.TPredMsg, appendPredMsg, readPredMsg)
@@ -221,13 +212,6 @@ func encodeValue(v consensusValue) ([]byte, error) {
 func decodeValue(p []byte) (consensusValue, error) {
 	r := codec.NewReader(p)
 	if f := r.Byte(); r.Err() == nil && f != valueFormat {
-		// Robustness fallback, kept one release alongside CodecGob: accept
-		// a value still encoded with gob (gob's first segment never starts
-		// with our format byte for these payloads). Encoding is always
-		// binary, so this does not make mixed-version groups supported.
-		if v, err := decodeValueGob(p); err == nil {
-			return v, nil
-		}
 		return consensusValue{}, fmt.Errorf("core: decode consensus value: unknown format %d", f)
 	}
 	var v consensusValue
@@ -242,16 +226,6 @@ func decodeValue(p []byte) (consensusValue, error) {
 	v.Pred = readDataMsgs(r)
 	if err := r.Close(); err != nil {
 		return consensusValue{}, fmt.Errorf("core: decode consensus value: %w", err)
-	}
-	return v, nil
-}
-
-// decodeValueGob is the previous release's gob decoding of consensus
-// values; it goes away when CodecGob does.
-func decodeValueGob(p []byte) (consensusValue, error) {
-	var v consensusValue
-	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v); err != nil {
-		return consensusValue{}, err
 	}
 	return v, nil
 }

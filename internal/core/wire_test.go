@@ -1,8 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
 	"testing"
 
 	"repro/internal/ident"
@@ -39,11 +37,16 @@ func TestConsensusValueRoundTrip(t *testing.T) {
 }
 
 func TestDecodeValueRejectsGarbage(t *testing.T) {
-	if _, err := decodeValue([]byte("not gob")); err == nil {
+	if _, err := decodeValue([]byte("garbage")); err == nil {
 		t.Fatal("garbage accepted")
 	}
 	if _, err := decodeValue(nil); err == nil {
 		t.Fatal("empty accepted")
+	}
+	// A format byte from a different (e.g. future) release is rejected
+	// instead of mis-decoded — there is no cross-format fallback anymore.
+	if _, err := decodeValue([]byte{valueFormat + 1, 0, 0}); err == nil {
+		t.Fatal("unknown format byte accepted")
 	}
 }
 
@@ -61,29 +64,6 @@ func TestEmptyViewValueRoundTrip(t *testing.T) {
 	}
 	if len(got.Pred) != 0 || got.Next.Members.Equal(ident.NewPIDs()) {
 		t.Fatalf("got %+v", got)
-	}
-}
-
-func TestWireMessagesAreGobRegistered(t *testing.T) {
-	// Every wire message must encode through an interface value, as the
-	// TCP transport sends them.
-	msgs := []any{
-		DataMsg{View: 1, Meta: obsolete.Msg{Sender: "a", Seq: 1}},
-		InitMsg{View: 1, Leave: []ident.PID{"x"}},
-		PredMsg{View: 1, Msgs: []DataMsg{{View: 1}}},
-		CreditMsg{View: 1, Credits: 3},
-		StableMsg{View: 1, Recv: map[ident.PID]ident.Seq{"a": 5}},
-	}
-	for _, m := range msgs {
-		var buf bytes.Buffer
-		wrapped := struct{ M any }{M: m}
-		if err := gob.NewEncoder(&buf).Encode(&wrapped); err != nil {
-			t.Fatalf("%T not encodable through interface: %v", m, err)
-		}
-		var out struct{ M any }
-		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
-			t.Fatalf("%T not decodable: %v", m, err)
-		}
 	}
 }
 
@@ -109,26 +89,5 @@ func TestViewHelpers(t *testing.T) {
 	if DeliverData.String() != "data" || DeliverView.String() != "view" ||
 		DeliverExpelled.String() != "expelled" || DeliveryKind(99).String() != "unknown" {
 		t.Fatal("DeliveryKind.String wrong")
-	}
-}
-
-// TestDecodeValueGobFallback: during the one-release gob migration
-// window, a consensus value encoded by the previous (gob) release must
-// still decode.
-func TestDecodeValueGobFallback(t *testing.T) {
-	val := consensusValue{
-		Next: View{ID: 7, Members: ident.NewPIDs("a", "b")},
-		Pred: []DataMsg{{View: 6, Meta: obsolete.Msg{Sender: "a", Seq: 1, Annot: []byte{1}}, Payload: []byte("x")}},
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(val); err != nil {
-		t.Fatal(err)
-	}
-	got, err := decodeValue(buf.Bytes())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Next.ID != val.Next.ID || !got.Next.Members.Equal(val.Next.Members) || len(got.Pred) != 1 {
-		t.Fatalf("got %+v, want %+v", got, val)
 	}
 }

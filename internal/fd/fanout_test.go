@@ -1,0 +1,132 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ident"
+)
+
+func recvEvent(t *testing.T, in <-chan Event) Event {
+	t.Helper()
+	select {
+	case e, ok := <-in:
+		if !ok {
+			t.Fatal("event channel closed")
+		}
+		return e
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for event")
+		return Event{}
+	}
+}
+
+// TestFanoutRepublishesToAllTaps: every tap sees every base event, and
+// queries delegate to the base detector.
+func TestFanoutRepublishesToAllTaps(t *testing.T) {
+	base := NewManual()
+	defer base.Stop()
+	f := NewFanout(base)
+	defer f.Stop()
+
+	t1, t2 := f.Tap(), f.Tap()
+	base.Suspect("p3")
+	for _, tap := range []*Tap{t1, t2} {
+		if e := recvEvent(t, tap.Events()); e.P != "p3" || !e.Suspected {
+			t.Fatalf("got %+v, want suspicion of p3", e)
+		}
+		if !tap.Suspected("p3") || !tap.Suspects().Contains("p3") {
+			t.Fatal("tap queries must delegate to the base detector")
+		}
+	}
+	base.Restore("p3")
+	for _, tap := range []*Tap{t1, t2} {
+		if e := recvEvent(t, tap.Events()); e.P != "p3" || e.Suspected {
+			t.Fatalf("got %+v, want revision of p3", e)
+		}
+	}
+}
+
+// TestFanoutTapReplaysExistingSuspicions: a tap created after the base
+// detector already suspects a peer still sees the suspicion as an event
+// — a group joining a node while a shared peer is down must be able to
+// auto-evict it.
+func TestFanoutTapReplaysExistingSuspicions(t *testing.T) {
+	base := NewManual()
+	defer base.Stop()
+	base.Suspect("dead1")
+	base.Suspect("dead2")
+	f := NewFanout(base)
+	defer f.Stop()
+
+	late := f.Tap()
+	defer late.Stop()
+	got := map[ident.PID]bool{}
+	for i := 0; i < 2; i++ {
+		e := recvEvent(t, late.Events())
+		if !e.Suspected {
+			t.Fatalf("got revision %+v, want suspicions", e)
+		}
+		got[e.P] = true
+	}
+	if !got["dead1"] || !got["dead2"] {
+		t.Fatalf("replayed suspicions = %v, want dead1 and dead2", got)
+	}
+
+	// Revisions after the replay flow through as usual. The base's own
+	// pre-fan-out events may still be pumped as duplicate suspicions
+	// first — consumers tolerate those, and so does this test.
+	base.Restore("dead1")
+	for {
+		e := recvEvent(t, late.Events())
+		if e.Suspected {
+			continue // duplicate of a replayed suspicion
+		}
+		if e.P != "dead1" {
+			t.Fatalf("got %+v, want revision of dead1", e)
+		}
+		break
+	}
+}
+
+// TestFanoutTapStopDetachesOnly: stopping one tap leaves the others and
+// the base running.
+func TestFanoutTapStopDetachesOnly(t *testing.T) {
+	base := NewManual()
+	defer base.Stop()
+	f := NewFanout(base)
+	defer f.Stop()
+
+	t1, t2 := f.Tap(), f.Tap()
+	t1.Stop()
+	t1.Stop() // idempotent
+	if _, ok := <-t1.Events(); ok {
+		t.Fatal("stopped tap's events not closed")
+	}
+	base.Suspect("q")
+	if e := recvEvent(t, t2.Events()); e.P != "q" {
+		t.Fatalf("surviving tap got %+v", e)
+	}
+}
+
+// TestFanoutStopClosesTaps: Fanout.Stop closes every tap but leaves the
+// base detector usable; taps created afterwards are born closed.
+func TestFanoutStopClosesTaps(t *testing.T) {
+	base := NewManual()
+	defer base.Stop()
+	f := NewFanout(base)
+	tap := f.Tap()
+	f.Stop()
+	f.Stop() // idempotent
+	if _, ok := <-tap.Events(); ok {
+		t.Fatal("tap events not closed by Fanout.Stop")
+	}
+	base.Suspect("r")
+	if !base.Suspected("r") {
+		t.Fatal("base detector must survive Fanout.Stop")
+	}
+	late := f.Tap()
+	if _, ok := <-late.Events(); ok {
+		t.Fatal("tap created after Stop must be closed")
+	}
+}

@@ -1,7 +1,6 @@
 package fd
 
 import (
-	"encoding/gob"
 	"sync"
 	"time"
 
@@ -14,7 +13,6 @@ import (
 type Beat struct{}
 
 func init() {
-	gob.Register(Beat{}) // legacy CodecGob transport mode
 	codec.Register[Beat](codec.TBeat,
 		func(dst []byte, _ Beat) []byte { return dst },
 		func(_ *codec.Reader) (Beat, error) { return Beat{}, nil })
@@ -41,6 +39,10 @@ func (o *HeartbeatOptions) defaults() {
 // process periodically beats to its peers; a peer silent for longer than
 // the timeout is suspected, and the suspicion is revised as soon as a beat
 // arrives again (◇S style: finitely many mistakes once timing stabilises).
+//
+// Heartbeats are node-scoped, not group-scoped: they travel in
+// ident.NodeGroup on the FailureDetector channel, so one detector serves
+// every group the node hosts (see fd.Fanout for sharing its events).
 type Heartbeat struct {
 	ep   transport.Endpoint
 	opts HeartbeatOptions
@@ -122,7 +124,7 @@ func (h *Heartbeat) beatLoop() {
 			h.mu.Unlock()
 			for _, p := range peers {
 				// Best effort: a failed send is just a missing beat.
-				_ = h.ep.Send(p, transport.FailureDetector, Beat{})
+				_ = h.ep.Send(p, ident.NodeGroup, transport.FailureDetector, Beat{})
 			}
 			h.check(time.Now())
 		}
@@ -131,7 +133,7 @@ func (h *Heartbeat) beatLoop() {
 
 func (h *Heartbeat) recvLoop() {
 	defer h.wg.Done()
-	inbox := h.ep.Inbox(transport.FailureDetector)
+	inbox := h.ep.Inbox(ident.NodeGroup, transport.FailureDetector)
 	for {
 		select {
 		case <-h.done:

@@ -15,6 +15,21 @@ import "sort"
 // (e.g. the rotating consensus coordinator).
 type PID string
 
+// GroupID identifies one SVS group instance among the many a node may
+// host on a single transport endpoint. Group identifiers are chosen by
+// the deployment (room number, topic hash, ...) and must agree across
+// the members of a group; they travel on the wire with every envelope so
+// transports can demultiplex shared connections by (GroupID, Channel).
+type GroupID uint32
+
+// NodeGroup is the reserved group identifier for node-scoped traffic
+// that is shared by every group on an endpoint — today the heartbeat
+// failure detector, which runs once per node, not once per group. It is
+// also the default group of single-group deployments that never touch
+// the multi-group runtime. Node runtimes refuse to host an application
+// group under this identifier.
+const NodeGroup GroupID = 0
+
 // ViewID numbers the views installed by a group. View identifiers grow
 // monotonically; view i+1 is always the successor of view i.
 type ViewID uint64

@@ -35,6 +35,9 @@ type Config struct {
 	Endpoint    transport.Endpoint
 	Detector    fd.Detector
 	InitialView core.View
+	// Group identifies the replica group's SVS group instance on the
+	// (possibly shared) endpoint; zero is fine for single-group use.
+	Group ident.GroupID
 
 	// K is the k-enumeration window (default 2×ToDeliverCap, minimum 16).
 	K int
@@ -95,6 +98,7 @@ func New(cfg Config) (*Replica, error) {
 	}
 	eng, err := core.New(core.Config{
 		Self:              cfg.Self,
+		Group:             cfg.Group,
 		Endpoint:          cfg.Endpoint,
 		Detector:          cfg.Detector,
 		InitialView:       cfg.InitialView,

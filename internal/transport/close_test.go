@@ -59,7 +59,7 @@ func TestMemEndpointDoubleClose(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if err := ep.Send("p", Data, 1); err == nil {
+	if err := ep.Send("p", ident.NodeGroup, Data, 1); err == nil {
 		t.Fatal("send after close should fail")
 	}
 }
@@ -78,7 +78,7 @@ func TestMemEndpointNoDeliveryAfterClose(t *testing.T) {
 	}
 	defer snd.Close()
 
-	in := rcv.Inbox(Data)
+	in := rcv.Inbox(ident.NodeGroup, Data)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -90,7 +90,7 @@ func TestMemEndpointNoDeliveryAfterClose(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					_ = snd.Send("rcv", Data, 1)
+					_ = snd.Send("rcv", ident.NodeGroup, Data, 1)
 				}
 			}
 		}()
@@ -119,25 +119,21 @@ func TestMemEndpointNoDeliveryAfterClose(t *testing.T) {
 }
 
 func TestTCPNetworkConcurrentClose(t *testing.T) {
-	for _, tc := range codecs {
-		t.Run(tc.name, func(t *testing.T) {
-			a, err := NewTCPNetworkOpts("a", "127.0.0.1:0", nil, TCPOptions{Codec: tc.c})
-			if err != nil {
-				t.Fatal(err)
-			}
-			var wg sync.WaitGroup
-			for i := 0; i < 8; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					if err := a.Close(); err != nil {
-						t.Error(err)
-					}
-				}()
-			}
-			wg.Wait()
-		})
+	a, err := NewTCPNetwork("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
 	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestTCPNetworkSendDuringClose closes an endpoint while senders hammer
@@ -145,7 +141,7 @@ func TestTCPNetworkConcurrentClose(t *testing.T) {
 // inboxes are silent after Close returns.
 func TestTCPNetworkSendDuringClose(t *testing.T) {
 	a, b := tcpPair(t)
-	in := a.Inbox(Data)
+	in := a.Inbox(ident.NodeGroup, Data)
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -158,8 +154,8 @@ func TestTCPNetworkSendDuringClose(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					_ = b.Send("a", Data, tcpPayload{N: 1})
-					_ = a.Send("b", Data, tcpPayload{N: 2})
+					_ = b.Send("a", ident.NodeGroup, Data, tcpPayload{N: 1})
+					_ = a.Send("b", ident.NodeGroup, Data, tcpPayload{N: 2})
 				}
 			}
 		}()
@@ -176,7 +172,7 @@ func TestTCPNetworkSendDuringClose(t *testing.T) {
 			if !ok {
 				close(stop)
 				wg.Wait()
-				if err := a.Send("b", Data, tcpPayload{}); err == nil {
+				if err := a.Send("b", ident.NodeGroup, Data, tcpPayload{}); err == nil {
 					t.Fatal("send on closed endpoint should fail")
 				}
 				return
@@ -200,7 +196,7 @@ func pipeNetwork(maxFrame int) (*TCPNetwork, *peerConn, net.Conn) {
 		conns:     make(map[ident.PID]*peerConn),
 	}
 	n.maxBody = maxFrame - len(n.fromEnc)
-	pc := newPeerConn(c1, CodecBinary, &n.bytesSent)
+	pc := newPeerConn(c1)
 	return n, pc, c2
 }
 
@@ -229,6 +225,9 @@ func readFrames(t *testing.T, raw net.Conn, maxFrame, count int) [][]tcpPayload 
 		}
 		var envs []tcpPayload
 		for r.Len() > 0 {
+			if g := ident.GroupID(r.Uvarint()); g != ident.NodeGroup {
+				t.Fatalf("group = %d, want %d", g, ident.NodeGroup)
+			}
 			if ch := Channel(r.Byte()); ch != Data {
 				t.Fatalf("channel = %d, want %d", ch, Data)
 			}
@@ -252,7 +251,7 @@ func TestWriteLoopCoalescesBacklog(t *testing.T) {
 
 	const count = 50
 	for i := 0; i < count; i++ {
-		if err := n.enqueue("b", pc, Data, tcpPayload{N: i}); err != nil {
+		if err := n.enqueue("b", pc, ident.NodeGroup, Data, tcpPayload{N: i}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -285,7 +284,7 @@ func TestWriteLoopChunksAtMaxFrame(t *testing.T) {
 	payload := string(make([]byte, 40)) // ~45 B per envelope encoded
 	const count = 40                    // ~1.8 KiB backlog >> 256 B frames
 	for i := 0; i < count; i++ {
-		if err := n.enqueue("b", pc, Data, tcpPayload{N: i, S: payload}); err != nil {
+		if err := n.enqueue("b", pc, ident.NodeGroup, Data, tcpPayload{N: i, S: payload}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -319,14 +318,14 @@ func TestWriteLoopChunksAtMaxFrame(t *testing.T) {
 func TestSendRejectsOversizedMessage(t *testing.T) {
 	a, b := tcpPairOpts(t, TCPOptions{MaxFrame: 128})
 	big := tcpPayload{S: string(make([]byte, 4096))}
-	if err := a.Send("b", Data, big); err == nil {
+	if err := a.Send("b", ident.NodeGroup, Data, big); err == nil {
 		t.Fatal("oversized message accepted")
 	}
 	// The connection survives and small messages still flow.
-	if err := a.Send("b", Data, tcpPayload{N: 5}); err != nil {
+	if err := a.Send("b", ident.NodeGroup, Data, tcpPayload{N: 5}); err != nil {
 		t.Fatal(err)
 	}
-	if env := recvOne(t, b.Inbox(Data)); env.Msg.(tcpPayload).N != 5 {
+	if env := recvOne(t, b.Inbox(ident.NodeGroup, Data)); env.Msg.(tcpPayload).N != 5 {
 		t.Fatalf("got %+v", env)
 	}
 }
@@ -339,51 +338,11 @@ func TestNewTCPNetworkRejectsUnknownCodec(t *testing.T) {
 	}
 }
 
-// TestGobCloseUnblocksStuckSend: a gob-mode Send blocked mid-write holds
-// pc.mu; close must shut the socket first (not lock first), or Close
-// deadlocks behind the stuck writer.
-func TestGobCloseUnblocksStuckSend(t *testing.T) {
-	c1, c2 := net.Pipe() // synchronous: Encode blocks until the far end reads
-	defer c2.Close()
-	n := &TCPNetwork{
-		self:      "a",
-		opts:      TCPOptions{Codec: CodecGob, MaxFrame: defaultMaxFrame},
-		fromEnc:   codec.AppendString(nil, "a"),
-		closeDone: make(chan struct{}),
-		conns:     make(map[ident.PID]*peerConn),
-	}
-	n.maxBody = n.opts.MaxFrame - len(n.fromEnc)
-	pc := newPeerConn(c1, CodecGob, &n.bytesSent)
-	n.conns["b"] = pc
-
-	errC := make(chan error, 1)
-	go func() { errC <- n.Send("b", Data, tcpPayload{N: 1}) }()
-	time.Sleep(20 * time.Millisecond) // let Send block inside Encode, holding pc.mu
-
-	done := make(chan struct{})
-	go func() {
-		pc.close()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("peerConn.close deadlocked behind a blocked gob Send")
-	}
-	select {
-	case err := <-errC:
-		if err == nil {
-			t.Fatal("blocked send should fail once the conn closes")
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("blocked gob Send never unblocked")
-	}
-}
-
-// TestReadLoopRejectsBogusChannel: an envelope carrying an undefined
-// channel byte is a protocol violation — the connection drops and no
-// orphan inbox is created for a channel nothing consumes.
-func TestReadLoopRejectsBogusChannel(t *testing.T) {
+// TestReadLoopDropsBogusChannel: a well-formed envelope carrying an
+// undefined channel byte is dropped and counted; it neither creates an
+// orphan inbox nothing consumes nor kills the connection the sender's
+// legitimate groups share.
+func TestReadLoopDropsBogusChannel(t *testing.T) {
 	a, err := NewTCPNetwork("a", "127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -395,10 +354,18 @@ func TestReadLoopRejectsBogusChannel(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	// A well-formed frame whose envelope names channel 77.
-	body := codec.AppendString(nil, "evil")
+	// A well-formed frame: one envelope naming channel 77, then a valid
+	// envelope on the node group's Data channel.
+	body := codec.AppendString(nil, "peer")
+	body = codec.AppendUvarint(body, uint64(ident.NodeGroup))
 	body = codec.AppendByte(body, 77)
 	body, err = codec.Marshal(body, tcpPayload{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = codec.AppendUvarint(body, uint64(ident.NodeGroup))
+	body = codec.AppendByte(body, byte(Data))
+	body, err = codec.Marshal(body, tcpPayload{N: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,15 +374,97 @@ func TestReadLoopRejectsBogusChannel(t *testing.T) {
 	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}
+
+	// The valid envelope still arrives — the connection survived.
+	if env := recvOne(t, a.Inbox(ident.NodeGroup, Data)); env.Msg.(tcpPayload).N != 2 {
+		t.Fatalf("got %+v", env)
+	}
+	if st := a.Stats(); st.Drops.DroppedUnknownChannel != 1 {
+		t.Fatalf("drops = %+v, want 1 unknown-channel", st.Drops)
+	}
+	a.boxes.mu.Lock()
+	_, orphan := a.boxes.m[groupChan{ident.NodeGroup, Channel(77)}]
+	a.boxes.mu.Unlock()
+	if orphan {
+		t.Fatal("orphan inbox created for bogus channel")
+	}
+}
+
+// TestReadLoopDropsOversizedGroupID: a wire group id beyond GroupID's
+// 32-bit range must be dropped and counted as unknown — never truncated
+// into a hosted group's inbox (2^32+1 would alias to group 1) — and the
+// connection survives for the envelopes that follow.
+func TestReadLoopDropsOversizedGroupID(t *testing.T) {
+	a, err := NewTCPNetwork("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Register(1)
+
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One envelope whose group id truncates to hosted group 1, then a
+	// valid envelope for group 1.
+	body := codec.AppendString(nil, "peer")
+	body = codec.AppendUvarint(body, (1<<32)+1)
+	body = codec.AppendByte(body, byte(Data))
+	body, err = codec.Marshal(body, tcpPayload{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = codec.AppendUvarint(body, 1)
+	body = codec.AppendByte(body, byte(Data))
+	body, err = codec.Marshal(body, tcpPayload{N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(body)))
+	frame = append(frame, body...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the valid envelope arrives; the oversized id was counted as
+	// an unknown group, not aliased into group 1.
+	if env := recvOne(t, a.Inbox(1, Data)); env.Msg.(tcpPayload).N != 2 {
+		t.Fatalf("got %+v, want the group-1 envelope", env)
+	}
+	if st := a.Stats(); st.Drops.DroppedUnknownGroup != 1 {
+		t.Fatalf("drops = %+v, want 1 unknown-group", st.Drops)
+	}
+}
+
+// TestReadLoopRejectsUndecodableEnvelope: an envelope whose message
+// cannot be decoded leaves the rest of the stream unparseable — that is
+// still a protocol violation and drops the connection.
+func TestReadLoopRejectsUndecodableEnvelope(t *testing.T) {
+	a, err := NewTCPNetwork("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := codec.AppendString(nil, "evil")
+	body = codec.AppendUvarint(body, uint64(ident.NodeGroup))
+	body = codec.AppendByte(body, byte(Data))
+	body = codec.AppendByte(body, 0xEE) // unregistered TypeID
+	frame := binary.AppendUvarint(nil, uint64(len(body)))
+	frame = append(frame, body...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
 	buf := make([]byte, 1)
 	if _, err := conn.Read(buf); err == nil {
-		t.Fatal("bogus channel not rejected")
-	}
-	a.mu.Lock()
-	_, orphan := a.inboxes[Channel(77)]
-	a.mu.Unlock()
-	if orphan {
-		t.Fatal("orphan inbox created for bogus channel")
+		t.Fatal("undecodable envelope not rejected")
 	}
 }

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ident"
+)
+
+// inboxSet is the (GroupID, Channel)-keyed inbox registry shared by both
+// wire transports. Registration is how an endpoint knows which groups its
+// node hosts: deposit drops and counts envelopes for anything else, and
+// close ends every inbox exactly once (crash-stop: nothing is delivered
+// after close returns).
+type inboxSet struct {
+	mu     sync.Mutex
+	closed bool
+	m      map[groupChan]*ubq
+
+	dropGroup   atomic.Uint64
+	dropChannel atomic.Uint64
+}
+
+func newInboxSet() *inboxSet {
+	return &inboxSet{m: make(map[groupChan]*ubq, numChannels)}
+}
+
+// register creates the inboxes of every defined channel of g ahead of
+// traffic. Idempotent; a no-op after close.
+func (s *inboxSet) register(g ident.GroupID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, ch := range Channels() {
+		key := groupChan{g, ch}
+		if _, ok := s.m[key]; !ok {
+			s.m[key] = newUBQ()
+		}
+	}
+}
+
+// deregister removes and closes the inboxes of g; subsequent traffic for
+// g is dropped and counted.
+func (s *inboxSet) deregister(g ident.GroupID) {
+	s.mu.Lock()
+	var qs []*ubq
+	for _, ch := range Channels() {
+		key := groupChan{g, ch}
+		if q, ok := s.m[key]; ok {
+			qs = append(qs, q)
+			delete(s.m, key)
+		}
+	}
+	s.mu.Unlock()
+	for _, q := range qs {
+		q.close()
+	}
+}
+
+// inbox returns the receive channel for (g, ch), registering it lazily;
+// after close it returns an already-closed channel.
+func (s *inboxSet) inbox(g ident.GroupID, ch Channel) <-chan Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := groupChan{g, ch}
+	q, ok := s.m[key]
+	if !ok {
+		if s.closed {
+			dead := make(chan Envelope)
+			close(dead)
+			return dead
+		}
+		q = newUBQ()
+		s.m[key] = q
+	}
+	return q.out
+}
+
+// deposit places env in the inbox for (g, ch), or drops and counts it
+// when that inbox was never registered — traffic for a group this node
+// does not host (or no longer hosts), or a channel outside the defined
+// range.
+func (s *inboxSet) deposit(g ident.GroupID, ch Channel, env Envelope) {
+	s.mu.Lock()
+	q, ok := s.m[groupChan{g, ch}]
+	closed := s.closed
+	s.mu.Unlock()
+	if !ok {
+		if validChannel(ch) {
+			s.dropGroup.Add(1)
+		} else {
+			s.dropChannel.Add(1)
+		}
+		return
+	}
+	if !closed {
+		q.push(env)
+	}
+}
+
+// close ends every inbox and blocks until their pumps have exited; no
+// envelope is delivered after close returns. Idempotent.
+func (s *inboxSet) close() {
+	s.mu.Lock()
+	s.closed = true
+	qs := make([]*ubq, 0, len(s.m))
+	for _, q := range s.m {
+		qs = append(qs, q)
+	}
+	s.mu.Unlock()
+	for _, q := range qs {
+		q.close()
+	}
+}
+
+// drops returns the drop counters.
+func (s *inboxSet) drops() DropStats {
+	return DropStats{
+		DroppedUnknownGroup:   s.dropGroup.Load(),
+		DroppedUnknownChannel: s.dropChannel.Load(),
+	}
+}

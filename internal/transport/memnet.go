@@ -74,7 +74,9 @@ func (n *MemNetwork) Crash(p ident.PID) {
 	}
 }
 
-// Endpoint attaches process p to the network.
+// Endpoint attaches process p to the network. The reserved ident.NodeGroup
+// is registered immediately; application groups are registered by
+// Register or lazily by Inbox.
 func (n *MemNetwork) Endpoint(p ident.PID) (*MemEndpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -85,25 +87,23 @@ func (n *MemNetwork) Endpoint(p ident.PID) (*MemEndpoint, error) {
 		net:       n,
 		self:      p,
 		closeDone: make(chan struct{}),
-		inboxes:   make(map[Channel]*ubq, numChannels),
+		boxes:     newInboxSet(),
 		links:     make(map[link]*pacedLink),
 	}
-	for _, ch := range Channels() {
-		ep.inboxes[ch] = newUBQ()
-	}
+	ep.boxes.register(ident.NodeGroup)
 	n.eps[p] = ep
 	return ep, nil
 }
 
 // MemEndpoint is a process's attachment to a MemNetwork.
 type MemEndpoint struct {
-	net  *MemNetwork
-	self ident.PID
+	net   *MemNetwork
+	self  ident.PID
+	boxes *inboxSet
 
 	mu        sync.Mutex
 	closed    bool
 	closeDone chan struct{}
-	inboxes   map[Channel]*ubq
 	// links holds the outgoing paced links (lazily created) when the
 	// network has a delay function installed.
 	links map[link]*pacedLink
@@ -114,20 +114,24 @@ var _ Endpoint = (*MemEndpoint)(nil)
 // Self implements Endpoint.
 func (e *MemEndpoint) Self() ident.PID { return e.self }
 
+// Drops returns the counters of envelopes discarded at deposit because
+// their (group, channel) inbox was not registered.
+func (e *MemEndpoint) Drops() DropStats { return e.boxes.drops() }
+
+// Register implements Endpoint: create the inboxes of every channel of g.
+func (e *MemEndpoint) Register(g ident.GroupID) { e.boxes.register(g) }
+
+// Deregister implements Endpoint: remove and close the inboxes of g.
+// Subsequent traffic for g is dropped and counted.
+func (e *MemEndpoint) Deregister(g ident.GroupID) { e.boxes.deregister(g) }
+
 // Inbox implements Endpoint.
-func (e *MemEndpoint) Inbox(ch Channel) <-chan Envelope {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	q, ok := e.inboxes[ch]
-	if !ok {
-		q = newUBQ()
-		e.inboxes[ch] = q
-	}
-	return q.out
+func (e *MemEndpoint) Inbox(g ident.GroupID, ch Channel) <-chan Envelope {
+	return e.boxes.inbox(g, ch)
 }
 
 // Send implements Endpoint.
-func (e *MemEndpoint) Send(to ident.PID, ch Channel, m any) error {
+func (e *MemEndpoint) Send(to ident.PID, g ident.GroupID, ch Channel, m any) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -154,18 +158,18 @@ func (e *MemEndpoint) Send(to ident.PID, ch Channel, m any) error {
 	if delayFn != nil {
 		d = delayFn(e.self, to)
 	}
-	env := Envelope{From: e.self, Msg: m}
+	env := Envelope{From: e.self, Group: g, Msg: m}
 	if d <= 0 {
-		dst.deposit(ch, env)
+		dst.deposit(g, ch, env)
 		return nil
 	}
-	e.pacedSend(to, ch, env, d, dst)
+	e.pacedSend(to, g, ch, env, d, dst)
 	return nil
 }
 
 // pacedSend routes env through the per-link pacing goroutine so delayed
 // messages keep their FIFO order.
-func (e *MemEndpoint) pacedSend(to ident.PID, ch Channel, env Envelope, d time.Duration, dst *MemEndpoint) {
+func (e *MemEndpoint) pacedSend(to ident.PID, g ident.GroupID, ch Channel, env Envelope, d time.Duration, dst *MemEndpoint) {
 	key := link{e.self, to}
 	e.mu.Lock()
 	if e.closed {
@@ -178,22 +182,14 @@ func (e *MemEndpoint) pacedSend(to ident.PID, ch Channel, env Envelope, d time.D
 		e.links[key] = pl
 	}
 	e.mu.Unlock()
-	pl.push(pacedMsg{ch: ch, env: env, delay: d, dst: dst})
+	pl.push(pacedMsg{g: g, ch: ch, env: env, delay: d, dst: dst})
 }
 
-// deposit places env in the inbox for ch.
-func (e *MemEndpoint) deposit(ch Channel, env Envelope) {
-	e.mu.Lock()
-	q, ok := e.inboxes[ch]
-	if !ok {
-		q = newUBQ()
-		e.inboxes[ch] = q
-	}
-	closed := e.closed
-	e.mu.Unlock()
-	if !closed {
-		q.push(env)
-	}
+// deposit places env in the inbox for (g, ch), or drops and counts it
+// when that inbox was never registered — traffic for a group this node
+// does not host, or a channel outside the defined range.
+func (e *MemEndpoint) deposit(g ident.GroupID, ch Channel, env Envelope) {
+	e.boxes.deposit(g, ch, env)
 }
 
 // Close implements Endpoint: crash-stop shutdown. Concurrent or repeated
@@ -218,10 +214,6 @@ func (e *MemEndpoint) shutdown() {
 		return
 	}
 	e.closed = true
-	inboxes := make([]*ubq, 0, len(e.inboxes))
-	for _, q := range e.inboxes {
-		inboxes = append(inboxes, q)
-	}
 	links := make([]*pacedLink, 0, len(e.links))
 	for _, pl := range e.links {
 		links = append(links, pl)
@@ -230,14 +222,13 @@ func (e *MemEndpoint) shutdown() {
 	for _, pl := range links {
 		pl.close()
 	}
-	for _, q := range inboxes {
-		q.close()
-	}
+	e.boxes.close()
 	close(e.closeDone)
 }
 
 // pacedMsg is one message traversing a delayed link.
 type pacedMsg struct {
+	g     ident.GroupID
 	ch    Channel
 	env   Envelope
 	delay time.Duration
@@ -305,7 +296,7 @@ func (pl *pacedLink) run() {
 		t := time.NewTimer(m.delay)
 		select {
 		case <-t.C:
-			m.dst.deposit(m.ch, m.env)
+			m.dst.deposit(m.g, m.ch, m.env)
 		case <-pl.done:
 			t.Stop()
 			return

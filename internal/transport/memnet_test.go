@@ -35,10 +35,10 @@ func TestMemNetworkBasicSendRecv(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 
-	if err := a.Send("b", Data, "hello"); err != nil {
+	if err := a.Send("b", ident.NodeGroup, Data, "hello"); err != nil {
 		t.Fatal(err)
 	}
-	env := recvOne(t, b.Inbox(Data))
+	env := recvOne(t, b.Inbox(ident.NodeGroup, Data))
 	if env.From != "a" || env.Msg != "hello" {
 		t.Fatalf("got %+v", env)
 	}
@@ -53,11 +53,11 @@ func TestMemNetworkFIFOPerSender(t *testing.T) {
 
 	const count = 500
 	for i := 0; i < count; i++ {
-		if err := a.Send("b", Data, i); err != nil {
+		if err := a.Send("b", ident.NodeGroup, Data, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	in := b.Inbox(Data)
+	in := b.Inbox(ident.NodeGroup, Data)
 	for i := 0; i < count; i++ {
 		env := recvOne(t, in)
 		if env.Msg != i {
@@ -73,17 +73,86 @@ func TestMemNetworkChannelsAreIsolated(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 
-	if err := a.Send("b", Ctl, "ctl"); err != nil {
+	if err := a.Send("b", ident.NodeGroup, Ctl, "ctl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", Data, "data"); err != nil {
+	if err := a.Send("b", ident.NodeGroup, Data, "data"); err != nil {
 		t.Fatal(err)
 	}
-	if env := recvOne(t, b.Inbox(Data)); env.Msg != "data" {
+	if env := recvOne(t, b.Inbox(ident.NodeGroup, Data)); env.Msg != "data" {
 		t.Fatalf("data channel got %v", env.Msg)
 	}
-	if env := recvOne(t, b.Inbox(Ctl)); env.Msg != "ctl" {
+	if env := recvOne(t, b.Inbox(ident.NodeGroup, Ctl)); env.Msg != "ctl" {
 		t.Fatalf("ctl channel got %v", env.Msg)
+	}
+}
+
+// TestMemNetworkGroupDemux: one endpoint pair carries several groups'
+// traffic into independent (group, channel) inboxes with per-group FIFO.
+func TestMemNetworkGroupDemux(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+
+	groups := []ident.GroupID{1, 2, 9}
+	for _, g := range groups {
+		b.Register(g)
+	}
+	const perGroup = 50
+	for i := 0; i < perGroup; i++ {
+		for _, g := range groups {
+			if err := a.Send("b", g, Data, int(g)*1000+i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, g := range groups {
+		in := b.Inbox(g, Data)
+		for i := 0; i < perGroup; i++ {
+			env := recvOne(t, in)
+			if env.Group != g || env.Msg != int(g)*1000+i {
+				t.Fatalf("group %d envelope %d: got %+v", g, i, env)
+			}
+		}
+	}
+}
+
+// TestMemNetworkDropsUnknownGroupAndChannel: envelopes for an
+// unregistered group or an undefined channel are dropped and counted
+// instead of silently deposited into inboxes nothing consumes.
+func TestMemNetworkDropsUnknownGroupAndChannel(t *testing.T) {
+	n := NewMemNetwork()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send("b", 42, Data, "stray"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", ident.NodeGroup, Channel(77), "bogus"); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Drops()
+	if st.DroppedUnknownGroup != 1 || st.DroppedUnknownChannel != 1 {
+		t.Fatalf("drops = %+v, want 1 unknown-group and 1 unknown-channel", st)
+	}
+
+	// Deregistering a live group closes its inboxes and drops what
+	// arrives afterwards.
+	b.Register(3)
+	in := b.Inbox(3, Data)
+	b.Deregister(3)
+	if _, ok := <-in; ok {
+		t.Fatal("inbox not closed by Deregister")
+	}
+	if err := a.Send("b", 3, Data, "late"); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Drops(); st.DroppedUnknownGroup != 2 {
+		t.Fatalf("drops after deregister = %+v, want 2 unknown-group", st)
 	}
 }
 
@@ -92,10 +161,10 @@ func TestMemNetworkSelfSend(t *testing.T) {
 	a, _ := n.Endpoint("a")
 	defer a.Close()
 
-	if err := a.Send("a", Ctl, 42); err != nil {
+	if err := a.Send("a", ident.NodeGroup, Ctl, 42); err != nil {
 		t.Fatal(err)
 	}
-	if env := recvOne(t, a.Inbox(Ctl)); env.Msg != 42 || env.From != "a" {
+	if env := recvOne(t, a.Inbox(ident.NodeGroup, Ctl)); env.Msg != 42 || env.From != "a" {
 		t.Fatalf("got %+v", env)
 	}
 }
@@ -104,7 +173,7 @@ func TestMemNetworkUnknownPeer(t *testing.T) {
 	n := NewMemNetwork()
 	a, _ := n.Endpoint("a")
 	defer a.Close()
-	if err := a.Send("ghost", Data, 1); !errors.Is(err, ErrUnknownPeer) {
+	if err := a.Send("ghost", ident.NodeGroup, Data, 1); !errors.Is(err, ErrUnknownPeer) {
 		t.Fatalf("err = %v, want ErrUnknownPeer", err)
 	}
 }
@@ -124,7 +193,7 @@ func TestMemNetworkClosedEndpointSend(t *testing.T) {
 	b, _ := n.Endpoint("b")
 	defer b.Close()
 	a.Close()
-	if err := a.Send("b", Data, 1); !errors.Is(err, ErrClosed) {
+	if err := a.Send("b", ident.NodeGroup, Data, 1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
@@ -135,9 +204,9 @@ func TestMemNetworkCrashDropsTraffic(t *testing.T) {
 	b, _ := n.Endpoint("b")
 	defer a.Close()
 
-	inbox := b.Inbox(Data)
+	inbox := b.Inbox(ident.NodeGroup, Data)
 	n.Crash("b")
-	if err := a.Send("b", Data, 1); !errors.Is(err, ErrUnknownPeer) {
+	if err := a.Send("b", ident.NodeGroup, Data, 1); !errors.Is(err, ErrUnknownPeer) {
 		t.Fatalf("send to crashed peer: err = %v, want ErrUnknownPeer", err)
 	}
 	select {
@@ -158,22 +227,22 @@ func TestMemNetworkCutAndHeal(t *testing.T) {
 	defer b.Close()
 
 	n.Cut("a", "b")
-	if err := a.Send("b", Data, "lost"); err != nil {
+	if err := a.Send("b", ident.NodeGroup, Data, "lost"); err != nil {
 		t.Fatalf("send on cut link should silently drop, got %v", err)
 	}
 	// Reverse direction still works.
-	if err := b.Send("a", Data, "back"); err != nil {
+	if err := b.Send("a", ident.NodeGroup, Data, "back"); err != nil {
 		t.Fatal(err)
 	}
-	if env := recvOne(t, a.Inbox(Data)); env.Msg != "back" {
+	if env := recvOne(t, a.Inbox(ident.NodeGroup, Data)); env.Msg != "back" {
 		t.Fatalf("got %v", env.Msg)
 	}
 
 	n.Heal("a", "b")
-	if err := a.Send("b", Data, "again"); err != nil {
+	if err := a.Send("b", ident.NodeGroup, Data, "again"); err != nil {
 		t.Fatal(err)
 	}
-	if env := recvOne(t, b.Inbox(Data)); env.Msg != "again" {
+	if env := recvOne(t, b.Inbox(ident.NodeGroup, Data)); env.Msg != "again" {
 		t.Fatalf("after heal got %v", env.Msg)
 	}
 }
@@ -189,11 +258,11 @@ func TestMemNetworkDelayPreservesFIFO(t *testing.T) {
 	const count = 20
 	start := time.Now()
 	for i := 0; i < count; i++ {
-		if err := a.Send("b", Data, i); err != nil {
+		if err := a.Send("b", ident.NodeGroup, Data, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	in := b.Inbox(Data)
+	in := b.Inbox(ident.NodeGroup, Data)
 	for i := 0; i < count; i++ {
 		env := recvOne(t, in)
 		if env.Msg != i {
@@ -208,7 +277,7 @@ func TestMemNetworkDelayPreservesFIFO(t *testing.T) {
 func TestMemNetworkCloseUnblocksInbox(t *testing.T) {
 	n := NewMemNetwork()
 	a, _ := n.Endpoint("a")
-	in := a.Inbox(Data)
+	in := a.Inbox(ident.NodeGroup, Data)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -3,9 +3,9 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -14,35 +14,30 @@ import (
 	"repro/internal/ident"
 )
 
-// Codec selects the wire encoding of a TCPNetwork. Both ends of a group
-// must use the same codec; there is no on-the-wire negotiation.
+// Codec selects the wire encoding of a TCPNetwork. The legacy encoding/gob
+// fallback of the first binary-codec release has been removed; CodecBinary
+// is the only encoding, and unknown codec identifiers are rejected at
+// construction.
 type Codec uint8
 
 const (
 	// CodecBinary is the hand-rolled binary encoding of internal/codec
 	// with per-peer frame batching: the send path drains the pending
 	// queue and coalesces every waiting envelope into one length-prefixed
-	// batch frame per write syscall. This is the default.
+	// batch frame per write syscall.
 	CodecBinary Codec = iota
-	// CodecGob is the legacy reflection-based encoding/gob stream,
-	// retained for one release as a same-version fallback: a group can
-	// opt back into gob framing if the binary codec misbehaves, but all
-	// members must run the same release and codec (mixed-version rolling
-	// upgrades are not supported — consensus values are always encoded
-	// in the binary format). Sends are synchronous and unbatched,
-	// exactly as before.
-	CodecGob
 )
 
 // TCPOptions tunes a TCPNetwork beyond the defaults.
 type TCPOptions struct {
-	// Codec selects the wire encoding (default CodecBinary).
+	// Codec selects the wire encoding. CodecBinary is the only supported
+	// value; anything else fails construction with a clear error.
 	Codec Codec
 	// MaxFrame bounds one batch frame in bytes: the writer chunks its
 	// coalesced batches to it, and a peer announcing a larger incoming
-	// frame is treated as faulty and its connection dropped. Like Codec
-	// it must agree across the whole group — a node configured to send
-	// larger frames than its peers accept gets dropped as faulty.
+	// frame is treated as faulty and its connection dropped. It must
+	// agree across the whole group — a node configured to send larger
+	// frames than its peers accept gets dropped as faulty.
 	// 0 means the default of 16 MiB.
 	MaxFrame int
 }
@@ -57,30 +52,34 @@ type TCPStats struct {
 	BytesSent     uint64
 	FramesRecv    uint64
 	EnvelopesRecv uint64
+	// Drops counts received envelopes discarded because their
+	// (group, channel) inbox was not registered here.
+	Drops DropStats
 }
 
-// TCPNetwork implements Endpoint over real TCP connections, so a group can
+// TCPNetwork implements Endpoint over real TCP connections, so groups can
 // span OS processes and machines. One TCP connection is maintained per
-// outgoing peer; TCP's in-order reliable delivery provides the FIFO
-// reliable channel of the system model for the lifetime of the session
-// (crash-stop: a broken connection is treated as the peer's crash, there
-// is no reconnect-and-replay, and Close drops whatever is still queued).
+// outgoing peer and shared by every group the two nodes have in common;
+// TCP's in-order reliable delivery provides the FIFO reliable channel of
+// the system model for the lifetime of the session (crash-stop: a broken
+// connection is treated as the peer's crash, there is no
+// reconnect-and-replay, and Close drops whatever is still queued).
 //
-// With CodecBinary (the default) every wire type must be registered with
-// internal/codec; with CodecGob, with encoding/gob. The protocol packages
-// register their types with both.
+// Every wire type must be registered with internal/codec.
 //
-// Binary wire format, per connection: a stream of batch frames
+// Wire format, per connection: a stream of batch frames
 //
 //	uvarint frameLen | frame body
 //
 // where the body is the sender PID (uvarint length + bytes) followed by
 // one or more envelopes, each
 //
-//	channel byte | TypeID byte | message encoding
+//	uvarint GroupID | channel byte | TypeID byte | message encoding
 //
 // decoded back-to-back until the frame is exhausted. A decode error is a
-// protocol violation and closes the connection.
+// protocol violation and closes the connection; a well-formed envelope
+// for an unregistered group or an undefined channel is dropped and
+// counted (Stats().Drops) without penalising the rest of the stream.
 type TCPNetwork struct {
 	self    ident.PID
 	opts    TCPOptions
@@ -94,58 +93,39 @@ type TCPNetwork struct {
 	framesRecv atomic.Uint64
 	envsRecv   atomic.Uint64
 
+	boxes *inboxSet
+
 	mu        sync.Mutex
 	closed    bool
 	closeDone chan struct{}
 	peers     map[ident.PID]string
 	conns     map[ident.PID]*peerConn
 	accepted  map[net.Conn]struct{}
-	inboxes   map[Channel]*ubq
 	wg        sync.WaitGroup
 }
 
 var _ Endpoint = (*TCPNetwork)(nil)
 
-// peerConn is one outgoing connection. In binary mode Send appends the
-// encoded envelope to pend and a per-connection writer goroutine drains
-// pend into batch frames; in gob mode Send encodes synchronously under mu.
+// peerConn is one outgoing connection. Send appends the encoded envelope
+// to pend and a per-connection writer goroutine drains pend into batch
+// frames.
 type peerConn struct {
 	conn net.Conn
-	enc  *gob.Encoder // gob mode only
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	pend   []byte // encoded envelopes awaiting the writer (binary mode)
+	pend   []byte // encoded envelopes awaiting the writer
 	ends   []int  // end offset of each envelope in pend (frame chunking)
 	closed bool
 }
 
-func newPeerConn(conn net.Conn, c Codec, sent *atomic.Uint64) *peerConn {
+func newPeerConn(conn net.Conn) *peerConn {
 	pc := &peerConn{conn: conn}
 	pc.cond = sync.NewCond(&pc.mu)
-	if c == CodecGob {
-		pc.enc = gob.NewEncoder(countingWriter{w: conn, n: sent})
-	}
 	return pc
 }
 
-// countingWriter feeds the BytesSent counter on the gob path (the binary
-// writer counts at the frame level itself).
-type countingWriter struct {
-	w io.Writer
-	n *atomic.Uint64
-}
-
-func (cw countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.n.Add(uint64(n))
-	return n, err
-}
-
-// close marks the connection dead and wakes its writer. Idempotent. The
-// socket is closed before taking pc.mu: a gob-mode Send blocked inside
-// Encode holds pc.mu for the duration of the socket write, so closing
-// the conn first is what unblocks it (locking first would deadlock).
+// close marks the connection dead and wakes its writer. Idempotent.
 func (pc *peerConn) close() {
 	pc.conn.Close()
 	pc.mu.Lock()
@@ -156,30 +136,22 @@ func (pc *peerConn) close() {
 	pc.mu.Unlock()
 }
 
-// wireEnv is the on-the-wire envelope of the legacy gob stream.
-type wireEnv struct {
-	From ident.PID
-	Ch   Channel
-	Msg  any
-}
-
 // NewTCPNetwork starts listening on listenAddr and returns the endpoint
-// for self, using the default options (binary codec, batching). peers
-// maps every other group member to its listen address; connections are
-// dialed lazily on first send.
+// for self, using the default options. peers maps every other group
+// member to its listen address; connections are dialed lazily on first
+// send.
 func NewTCPNetwork(self ident.PID, listenAddr string, peers map[ident.PID]string) (*TCPNetwork, error) {
 	return NewTCPNetworkOpts(self, listenAddr, peers, TCPOptions{})
 }
 
 // NewTCPNetworkOpts is NewTCPNetwork with explicit options.
 func NewTCPNetworkOpts(self ident.PID, listenAddr string, peers map[ident.PID]string, opts TCPOptions) (*TCPNetwork, error) {
+	if opts.Codec != CodecBinary {
+		return nil, fmt.Errorf("transport: unknown codec %d (the encoding/gob fallback was removed; only CodecBinary is supported)", opts.Codec)
+	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
-	}
-	if opts.Codec != CodecBinary && opts.Codec != CodecGob {
-		ln.Close()
-		return nil, fmt.Errorf("transport: unknown codec %d", opts.Codec)
 	}
 	if opts.MaxFrame <= 0 {
 		opts.MaxFrame = defaultMaxFrame
@@ -193,7 +165,7 @@ func NewTCPNetworkOpts(self ident.PID, listenAddr string, peers map[ident.PID]st
 		peers:     make(map[ident.PID]string, len(peers)),
 		conns:     make(map[ident.PID]*peerConn),
 		accepted:  make(map[net.Conn]struct{}),
-		inboxes:   make(map[Channel]*ubq, numChannels),
+		boxes:     newInboxSet(),
 	}
 	n.maxBody = opts.MaxFrame - len(n.fromEnc)
 	if n.maxBody <= 0 {
@@ -203,9 +175,7 @@ func NewTCPNetworkOpts(self ident.PID, listenAddr string, peers map[ident.PID]st
 	for p, addr := range peers {
 		n.peers[p] = addr
 	}
-	for _, ch := range Channels() {
-		n.inboxes[ch] = newUBQ()
-	}
+	n.boxes.register(ident.NodeGroup)
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -226,6 +196,14 @@ func (n *TCPNetwork) AddPeer(p ident.PID, addr string) {
 // Self implements Endpoint.
 func (n *TCPNetwork) Self() ident.PID { return n.self }
 
+// Conns reports the number of live outgoing peer connections — at most
+// one per peer no matter how many groups are shared with it.
+func (n *TCPNetwork) Conns() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.conns)
+}
+
 // Stats returns a snapshot of the wire counters.
 func (n *TCPNetwork) Stats() TCPStats {
 	return TCPStats{
@@ -234,65 +212,50 @@ func (n *TCPNetwork) Stats() TCPStats {
 		BytesSent:     n.bytesSent.Load(),
 		FramesRecv:    n.framesRecv.Load(),
 		EnvelopesRecv: n.envsRecv.Load(),
+		Drops:         n.boxes.drops(),
 	}
 }
+
+// Register implements Endpoint: create the inboxes of every channel of g.
+func (n *TCPNetwork) Register(g ident.GroupID) { n.boxes.register(g) }
+
+// Deregister implements Endpoint: remove and close the inboxes of g.
+// Subsequent traffic for g is dropped and counted.
+func (n *TCPNetwork) Deregister(g ident.GroupID) { n.boxes.deregister(g) }
 
 // Inbox implements Endpoint.
-func (n *TCPNetwork) Inbox(ch Channel) <-chan Envelope {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	q, ok := n.inboxes[ch]
-	if !ok {
-		q = newUBQ()
-		n.inboxes[ch] = q
-	}
-	return q.out
+func (n *TCPNetwork) Inbox(g ident.GroupID, ch Channel) <-chan Envelope {
+	return n.boxes.inbox(g, ch)
 }
 
-// Send implements Endpoint. In binary mode a successful Send means the
-// envelope is queued for the peer's writer; the actual write error, if
-// any, surfaces as the peer's crash (connection drop), matching the
-// crash-stop model.
-func (n *TCPNetwork) Send(to ident.PID, ch Channel, m any) error {
+// Send implements Endpoint. A successful Send means the envelope is
+// queued for the peer's writer; the actual write error, if any, surfaces
+// as the peer's crash (connection drop), matching the crash-stop model.
+func (n *TCPNetwork) Send(to ident.PID, g ident.GroupID, ch Channel, m any) error {
 	if to == n.self {
-		n.deposit(Envelope{From: n.self, Msg: m}, ch)
+		n.deposit(g, ch, Envelope{From: n.self, Group: g, Msg: m})
 		return nil
 	}
 	pc, err := n.peer(to)
 	if err != nil {
 		return err
 	}
-	if n.opts.Codec == CodecGob {
-		pc.mu.Lock()
-		if pc.closed {
-			pc.mu.Unlock()
-			return fmt.Errorf("transport: send to %s: %w", to, net.ErrClosed)
-		}
-		err := pc.enc.Encode(wireEnv{From: n.self, Ch: ch, Msg: m})
-		pc.mu.Unlock()
-		if err != nil {
-			n.dropPeer(to, pc)
-			return fmt.Errorf("transport: send to %s: %w", to, err)
-		}
-		n.framesSent.Add(1)
-		n.envsSent.Add(1)
-		return nil
-	}
-	return n.enqueue(to, pc, ch, m)
+	return n.enqueue(to, pc, g, ch, m)
 }
 
 // enqueue appends the encoded envelope to the peer's pending buffer and
 // wakes its writer. Encoding happens here, synchronously, so unregistered
 // types and oversized messages are reported to the caller; the write
 // syscall happens in the writer, coalesced with whatever else is pending.
-func (n *TCPNetwork) enqueue(to ident.PID, pc *peerConn, ch Channel, m any) error {
+func (n *TCPNetwork) enqueue(to ident.PID, pc *peerConn, g ident.GroupID, ch Channel, m any) error {
 	pc.mu.Lock()
 	if pc.closed {
 		pc.mu.Unlock()
 		return fmt.Errorf("transport: send to %s: %w", to, net.ErrClosed)
 	}
 	start := len(pc.pend)
-	buf := codec.AppendByte(pc.pend, byte(ch))
+	buf := codec.AppendUvarint(pc.pend, uint64(g))
+	buf = codec.AppendByte(buf, byte(ch))
 	buf, err := codec.Marshal(buf, m)
 	if err != nil {
 		pc.pend = buf[:start]
@@ -412,12 +375,10 @@ func (n *TCPNetwork) peer(p ident.PID) (*peerConn, error) {
 		conn.Close()
 		return pc, nil
 	}
-	pc := newPeerConn(conn, n.opts.Codec, &n.bytesSent)
+	pc := newPeerConn(conn)
 	n.conns[p] = pc
-	if n.opts.Codec == CodecBinary {
-		n.wg.Add(1)
-		go n.writeLoop(p, pc)
-	}
+	n.wg.Add(1)
+	go n.writeLoop(p, pc)
 	return pc, nil
 }
 
@@ -458,21 +419,6 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
-	if n.opts.Codec == CodecGob {
-		dec := gob.NewDecoder(conn)
-		for {
-			var we wireEnv
-			if err := dec.Decode(&we); err != nil {
-				return // connection closed or peer crashed
-			}
-			if !validChannel(we.Ch) {
-				return // protocol violation: treat the peer as faulty
-			}
-			n.framesRecv.Add(1)
-			n.envsRecv.Add(1)
-			n.deposit(Envelope{From: we.From, Msg: we.Msg}, we.Ch)
-		}
-	}
 
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var frame []byte
@@ -496,18 +442,25 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 		r.Reset(frame)
 		from := ident.PID(r.String())
 		for r.Len() > 0 && r.Err() == nil {
+			gid := r.Uvarint()
 			ch := Channel(r.Byte())
-			if !validChannel(ch) {
-				// Protocol violation: a faulty peer could otherwise grow
-				// unbounded inboxes for channels nothing consumes.
-				return
-			}
+			// Decode the message even when the envelope will be dropped:
+			// staying aligned with the stream is what lets one bad
+			// envelope be discarded without dropping the whole peer.
 			msg, err := codec.Unmarshal(&r)
 			if err != nil {
 				return // mis-encoded or misaligned frame: drop the peer
 			}
 			n.envsRecv.Add(1)
-			n.deposit(Envelope{From: from, Msg: msg}, ch)
+			if gid > math.MaxUint32 {
+				// A group id beyond GroupID's range can never be hosted;
+				// count it as unknown rather than letting the uint32
+				// conversion alias it into a real group's inbox.
+				n.boxes.dropGroup.Add(1)
+				continue
+			}
+			g := ident.GroupID(gid)
+			n.deposit(g, ch, Envelope{From: from, Group: g, Msg: msg})
 		}
 		if r.Err() != nil {
 			return
@@ -520,18 +473,10 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 	}
 }
 
-func (n *TCPNetwork) deposit(env Envelope, ch Channel) {
-	n.mu.Lock()
-	q, ok := n.inboxes[ch]
-	if !ok {
-		q = newUBQ()
-		n.inboxes[ch] = q
-	}
-	closed := n.closed
-	n.mu.Unlock()
-	if !closed {
-		q.push(env)
-	}
+// deposit places env in the inbox for (g, ch), or drops and counts it
+// when that inbox was never registered.
+func (n *TCPNetwork) deposit(g ident.GroupID, ch Channel, env Envelope) {
+	n.boxes.deposit(g, ch, env)
 }
 
 // Close implements Endpoint: crash-stop shutdown. Envelopes still queued
@@ -556,10 +501,6 @@ func (n *TCPNetwork) Close() error {
 	for c := range n.accepted {
 		accepted = append(accepted, c)
 	}
-	inboxes := make([]*ubq, 0, len(n.inboxes))
-	for _, q := range n.inboxes {
-		inboxes = append(inboxes, q)
-	}
 	n.mu.Unlock()
 
 	n.ln.Close()
@@ -570,9 +511,7 @@ func (n *TCPNetwork) Close() error {
 		c.Close()
 	}
 	n.wg.Wait()
-	for _, q := range inboxes {
-		q.close()
-	}
+	n.boxes.close()
 	close(n.closeDone)
 	return nil
 }

@@ -10,9 +10,10 @@
 #     ns/op is not a latency figure; they run at -benchtime 1x and their
 #     custom metrics (thresholds, idle%, occupancy) are the payload.
 #   micro — the hot-path microbenchmarks (wire codec, engine multicast,
-#     view change, queue purge/pop). Single-iteration numbers are noise
-#     here, so they run at a fixed iteration count with -count repeats
-#     and the JSON records the per-metric mean over the repeats.
+#     multi-group node throughput, view change, queue purge/pop).
+#     Single-iteration numbers are noise here, so they run at a fixed
+#     iteration count with -count repeats and the JSON records the
+#     per-metric mean over the repeats.
 #
 # Usage: scripts/bench.sh [micro-benchtime] [micro-count]
 #   defaults: 2000x iterations, 3 repeats.
@@ -38,7 +39,7 @@ cat "$RAW_FIG"
 
 echo "== micro (-benchtime $MICRO_BENCHTIME -count $MICRO_COUNT, means reported) =="
 go test -run '^$' \
-    -bench 'BenchmarkWireCodec|BenchmarkEngineMulticast|BenchmarkViewChangeLatency|BenchmarkQueuePurgeFor|BenchmarkQueuePopHead' \
+    -bench 'BenchmarkWireCodec|BenchmarkEngineMulticast|BenchmarkMultiGroup|BenchmarkViewChangeLatency|BenchmarkQueuePurgeFor|BenchmarkQueuePopHead' \
     -benchtime "$MICRO_BENCHTIME" -count "$MICRO_COUNT" -benchmem . > "$RAW_MICRO" 2>&1 || {
     cat "$RAW_MICRO" >&2
     exit 1

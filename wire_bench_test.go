@@ -14,6 +14,17 @@ import (
 	"repro/internal/obsolete"
 )
 
+func init() {
+	// The wire path no longer uses gob (the fallback codec was removed),
+	// so the baseline benchmark registers the types it round-trips
+	// through interface values itself.
+	gob.Register(core.DataMsg{})
+	gob.Register(core.InitMsg{})
+	gob.Register(core.PredMsg{})
+	gob.Register(core.CreditMsg{})
+	gob.Register(core.StableMsg{})
+}
+
 // wireMessages is a representative mix of protocol traffic: mostly DATA
 // with a realistic payload, plus the control messages of a view change
 // and stability gossip.
