@@ -655,6 +655,149 @@ func benchMultiGroup(b *testing.B, members, groups, buffer int, tcp bool) {
 	}
 }
 
+// BenchmarkJoinStateTransfer measures the cost of bringing a newcomer
+// into a running 3-member group after a 512-message session. The state
+// transfer ships only the relation-purged unstable backlog, so under the
+// semantic relation xfer-bytes/op stays O(window) while the reliable
+// (empty) relation ships the entire unstable history — the join-time
+// face of the buffer-size separation Fig. 4b shows in steady state.
+func BenchmarkJoinStateTransfer(b *testing.B) {
+	for _, mode := range []string{"semantic", "reliable"} {
+		mode := mode
+		b.Run("mode="+mode, func(b *testing.B) {
+			benchJoinStateTransfer(b, mode == "semantic")
+		})
+	}
+}
+
+func benchJoinStateTransfer(b *testing.B, semantic bool) {
+	const produced = 512
+	const items = 16
+	var rel obsolete.Relation = obsolete.Empty{}
+	if semantic {
+		rel = obsolete.KEnumeration{K: 64}
+	}
+	gc := core.GroupConfig{Relation: rel, ToDeliverCap: 64, OutgoingCap: 64, Window: 64}
+
+	net := transport.NewMemNetwork()
+	pids := ident.NewPIDs("p0", "p1", "p2")
+	newNode := func(p ident.PID) *core.Node {
+		ep, err := net.Endpoint(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := fd.NewManual()
+		node, err := core.NewNode(core.NodeConfig{Self: p, Endpoint: ep, Detector: det})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			node.Close()
+			det.Stop()
+		})
+		return node
+	}
+	groups := make(map[ident.PID]*core.Group, len(pids))
+	for _, p := range pids {
+		node := newNode(p)
+		gc := gc
+		gc.InitialView = core.View{ID: 1, Members: pids}
+		g, err := node.Create(1, gc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups[p] = g
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	last := make(map[ident.PID]ident.Seq, len(pids))
+	for _, p := range pids {
+		p := p
+		go func() {
+			for {
+				d, err := groups[p].Deliver(ctx)
+				if err != nil {
+					return
+				}
+				if d.Kind == core.DeliverData && d.Meta.Sender == "p0" {
+					mu.Lock()
+					if d.Meta.Seq > last[p] {
+						last[p] = d.Meta.Seq
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	waitSeq := func(want ident.Seq) {
+		for {
+			mu.Lock()
+			done := true
+			for _, p := range pids {
+				if last[p] < want {
+					done = false
+				}
+			}
+			mu.Unlock()
+			if done {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	// Each op is one session segment plus the join it feeds: the unstable
+	// backlog is per-view state, and the eviction closing each iteration
+	// opens a new view, so the segment must be re-produced every time.
+	tr := obsolete.NewItemTracker(obsolete.NewKTracker(64))
+	var bytes, msgs uint64
+	var lastSeq ident.Seq
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < produced; j++ {
+			seq, annot := tr.Update(uint32(j % items))
+			if !semantic {
+				annot = nil
+			}
+			meta := obsolete.Msg{Sender: "p0", Seq: seq, Annot: annot}
+			if _, err := groups["p0"].Multicast(ctx, meta, nil); err != nil {
+				b.Fatal(err)
+			}
+			lastSeq = seq
+		}
+		waitSeq(lastSeq)
+
+		jpid := ident.PID(fmt.Sprintf("j%d", i))
+		jn := newNode(jpid)
+		jg, err := jn.Join(1, gc, "p0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for jg.View().ID == 0 {
+			time.Sleep(200 * time.Microsecond)
+		}
+		st := jg.Stats()
+		bytes += uint64(st.JoinBytesRecv)
+		msgs += uint64(st.JoinBacklogRecv)
+
+		// Evict the joiner again so membership (and consensus quorums)
+		// stay constant across iterations.
+		want := groups["p0"].View().ID + 1
+		if err := groups["p0"].RequestViewChange(jpid); err != nil {
+			b.Fatal(err)
+		}
+		for groups["p0"].Stats().View < want {
+			time.Sleep(200 * time.Microsecond)
+		}
+		jg.Leave()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes)/float64(b.N), "xfer-bytes/op")
+	b.ReportMetric(float64(msgs)/float64(b.N), "xfer-msgs/op")
+}
+
 // BenchmarkViewChangeLatency measures the wall time of a full view change
 // (INIT → PRED exchange → consensus → install) in an idle group — the
 // protocol's fixed cost; the flush grows with buffered traffic, which

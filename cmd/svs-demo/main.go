@@ -38,15 +38,16 @@ func main() {
 		seconds   = flag.Float64("seconds", 5, "production duration")
 		slowDelay = flag.Duration("slowdelay", 20*time.Millisecond, "per-delivery slowness of the slow member")
 		buffer    = flag.Int("buffer", 16, "delivery/outgoing buffer size")
+		join      = flag.Bool("join", false, "after the run, a new node joins group 1 with a semantic state transfer")
 	)
 	flag.Parse()
-	if err := run(*members, *groups, *mode, *seconds, *slowDelay, *buffer); err != nil {
+	if err := run(*members, *groups, *mode, *seconds, *slowDelay, *buffer, *join); err != nil {
 		fmt.Fprintf(os.Stderr, "svs-demo: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(members, groups int, mode string, seconds float64, slowDelay time.Duration, buffer int) error {
+func run(members, groups int, mode string, seconds float64, slowDelay time.Duration, buffer int, join bool) error {
 	if groups < 1 {
 		return fmt.Errorf("need at least one group")
 	}
@@ -249,7 +250,112 @@ func run(members, groups int, mode string, seconds float64, slowDelay time.Durat
 		fmt.Printf("groups 2..%d stayed at view 1: group lifecycles are independent\n", groups)
 	}
 	fmt.Println("(purging + stability keep buffers small ⇒ cheap view changes, §5.4)")
+
+	// Dynamic membership: a brand-new node joins group 1 while it runs,
+	// receiving only the non-obsolete backlog as its state transfer.
+	if join {
+		if err := joinDemo(ctx, net, ms[0].pid, view.Members, rel, buffer, ms[0].groups[1], &wg); err != nil {
+			return err
+		}
+	}
 	cancel()
 	wg.Wait()
+	return nil
+}
+
+// joinDemo adds a fresh node to group 1 via a semantic state transfer and
+// proves it is live: it must install the incumbents' view and deliver a
+// multicast sent after it joined.
+func joinDemo(ctx context.Context, net *transport.MemNetwork, contact ident.PID,
+	founders ident.PIDs, rel obsolete.Relation, buffer int, producer *core.Group, wg *sync.WaitGroup) error {
+	ep, err := net.Endpoint("joiner")
+	if err != nil {
+		return err
+	}
+	jn, err := core.NewNode(core.NodeConfig{
+		Self:      "joiner",
+		Endpoint:  ep,
+		Heartbeat: fd.HeartbeatOptions{Interval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer jn.Close()
+
+	jg, err := jn.Join(1, core.GroupConfig{
+		Relation:     rel,
+		ToDeliverCap: buffer, OutgoingCap: buffer, Window: buffer,
+	}, contact)
+	if err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	var joined core.View
+	backlog := 0
+	gotAfter := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			d, err := jg.Deliver(ctx)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			switch d.Kind {
+			case core.DeliverData:
+				if joined.ID == 0 {
+					backlog++ // state-transfer backlog precedes the view
+				} else if string(d.Payload) == "post-join" {
+					close(gotAfter)
+				}
+			case core.DeliverView:
+				joined = d.NewView
+			}
+			mu.Unlock()
+		}
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		v := joined
+		mu.Unlock()
+		if v.ID != 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("joiner never installed a view")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	v, bl := joined, backlog
+	mu.Unlock()
+	if !v.Members.Equal(founders.Add("joiner")) {
+		return fmt.Errorf("joined view %v does not contain the founders plus the joiner", v)
+	}
+	st := jg.Stats()
+	fmt.Printf("\njoiner entered view %d (%d members); state transfer: %d messages, %d bytes (relation-purged backlog)\n",
+		v.ID, len(v.Members), st.JoinBacklogRecv, st.JoinBytesRecv)
+	if uint64(bl) != st.JoinBacklogRecv {
+		return fmt.Errorf("joiner delivered %d backlog messages, state transfer carried %d", bl, st.JoinBacklogRecv)
+	}
+
+	// Prove liveness: a multicast sent after the join reaches the joiner.
+	pst := producer.Stats()
+	meta := obsolete.Msg{Sender: contact, Seq: ident.Seq(pst.Multicast + 1)}
+	mctx, mcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer mcancel()
+	if _, err := producer.Multicast(mctx, meta, []byte("post-join")); err != nil {
+		return fmt.Errorf("post-join multicast: %w", err)
+	}
+	select {
+	case <-gotAfter:
+		fmt.Println("joiner delivered a post-join multicast: the group is live with the newcomer")
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("joiner never delivered the post-join multicast")
+	}
 	return nil
 }

@@ -21,6 +21,11 @@ const (
 	TConsensusMsg
 	// TBeat is the failure-detector heartbeat (internal/fd).
 	TBeat
+	// TJoinReqMsg and TStateMsg are the dynamic-membership handshake
+	// (internal/core): a join request from a process outside the group and
+	// the semantic state transfer that admits it.
+	TJoinReqMsg
+	TStateMsg
 
 	// TTestA and TTestB are reserved for package tests.
 	TTestA TypeID = 250

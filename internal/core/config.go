@@ -30,8 +30,16 @@ type Config struct {
 	// Detector is the failure detector oracle. The engine consumes its
 	// Events channel.
 	Detector fd.Detector
-	// InitialView is the agreed first view (same at every member).
+	// InitialView is the agreed first view (same at every member). It is
+	// ignored when Join is set: a joiner learns its first view from the
+	// group's state transfer.
 	InitialView View
+	// Join, when non-nil, starts the engine as a joiner of an already
+	// running group instead of a founding member: the engine asks the
+	// contacts for admission and installs its first view — membership,
+	// reception frontiers and the non-obsolete backlog — from the state
+	// transfer that follows the admitting view change.
+	Join *JoinSpec
 	// Relation is the obsolescence relation; nil means the empty relation,
 	// i.e. classic View Synchrony.
 	Relation obsolete.Relation
@@ -61,12 +69,26 @@ type Config struct {
 	StabilityInterval time.Duration
 }
 
+// JoinSpec configures a joining engine (Config.Join).
+type JoinSpec struct {
+	// Contacts are members of the running group to ask for admission. At
+	// least one is required; all of them are asked (concurrent admission
+	// requests are reconciled by the view-change consensus like any other
+	// concurrent initiators).
+	Contacts ident.PIDs
+	// Retry is the period at which the join request is retransmitted until
+	// the state transfer arrives — it covers a contact or sponsor crashing
+	// mid-handshake. Default 200ms.
+	Retry time.Duration
+}
+
 // Errors returned by the engine facade.
 var (
 	ErrStopped   = errors.New("core: engine stopped")
 	ErrExpelled  = errors.New("core: process expelled from the group")
 	ErrNotMember = errors.New("core: process not in current view")
 	ErrBadSeq    = errors.New("core: multicast sequence number not contiguous")
+	ErrJoining   = errors.New("core: join in progress")
 )
 
 func (c *Config) validate() error {
@@ -82,11 +104,23 @@ func (c *Config) validate() error {
 	if c.Detector == nil {
 		return fmt.Errorf("core: config: Detector is required")
 	}
-	if len(c.InitialView.Members) == 0 {
-		return fmt.Errorf("core: config: InitialView must have members")
-	}
-	if !c.InitialView.Includes(c.Self) {
-		return fmt.Errorf("core: config: Self %q not in InitialView %v", c.Self, c.InitialView.Members)
+	if c.Join != nil {
+		contacts := c.Join.Contacts.Clone().Remove(c.Self)
+		if len(contacts) == 0 {
+			return fmt.Errorf("core: config: Join needs at least one contact other than Self")
+		}
+		retry := c.Join.Retry
+		if retry <= 0 {
+			retry = 200 * time.Millisecond
+		}
+		c.Join = &JoinSpec{Contacts: contacts, Retry: retry}
+	} else {
+		if len(c.InitialView.Members) == 0 {
+			return fmt.Errorf("core: config: InitialView must have members")
+		}
+		if !c.InitialView.Includes(c.Self) {
+			return fmt.Errorf("core: config: Self %q not in InitialView %v", c.Self, c.InitialView.Members)
+		}
 	}
 	if c.ToDeliverCap < 0 || c.OutgoingCap < 0 || c.Window < 0 {
 		return fmt.Errorf("core: config: negative capacity")

@@ -65,6 +65,15 @@ type Stats struct {
 	DroppedStale    uint64 // arrivals discarded: wrong view
 	DroppedCovered  uint64 // arrivals discarded: duplicate or covered (t3)
 
+	CreditsStaleView   uint64 // credit grants discarded: wrong view
+	CtlDeferredDropped uint64 // future-view control envelopes dropped past the defer cap
+
+	JoinStatesSent  uint64 // state transfers shipped to joiners (sponsor side)
+	JoinBacklogSent uint64 // backlog messages shipped in those transfers
+	JoinBytesSent   uint64 // wire bytes of those transfers
+	JoinBacklogRecv uint64 // backlog length of the state transfer that admitted this engine
+	JoinBytesRecv   uint64 // wire bytes of that transfer
+
 	FlushAdded   uint64 // messages adopted from decided flush sets
 	LastFlushLen int    // size of the last decided flush set
 

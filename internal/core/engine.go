@@ -41,12 +41,25 @@ type Engine struct {
 	expelled bool
 	proposed bool
 
+	// Join handshake state. joining is true from Start until the state
+	// transfer installs the first view; joinTick retransmits the join
+	// request meanwhile. pendingJoins holds admission requests received
+	// while a view change is in flight. joinSeeded records, per sender,
+	// the highest current-view sequence number adopted from a state
+	// transfer: those entries never consumed a window slot here, so their
+	// delivery or purge must not grant credits (see deliverItem).
+	joining      bool
+	joinTick     *time.Ticker
+	pendingJoins ident.PIDs
+	joinSeeded   map[ident.PID]ident.Seq
+
 	toDeliver *queue.Queue
 	delivered *queue.Queue // current-view delivery history (for pred sets)
 	recvMax   map[ident.PID]ident.Seq
 	lastSent  ident.Seq
 	stalled   *DataMsg // one arrival awaiting queue space (flow control)
 
+	join         ident.PIDs
 	leave        ident.PIDs
 	globalPred   map[obsolete.MsgID]DataMsg
 	predReceived ident.PIDs
@@ -84,7 +97,8 @@ type request struct {
 
 	meta    obsolete.Msg // multicast
 	payload []byte
-	leave   ident.PIDs // view change
+	join    ident.PIDs // view change
+	leave   ident.PIDs
 
 	errC chan error    // view change / deliver failure reply
 	mcC  chan mcResult // multicast reply
@@ -123,6 +137,7 @@ func putRequest(req *request) {
 	req.ctx = nil
 	req.meta = obsolete.Msg{}
 	req.payload = nil
+	req.join = nil
 	req.leave = nil
 	requestPool.Put(req)
 }
@@ -143,6 +158,11 @@ func New(cfg Config) (*Engine, error) {
 	// protocol loop's first read.
 	cfg.Endpoint.Register(cfg.Group)
 	ctx, cancel := context.WithCancel(context.Background())
+	initial := cfg.InitialView
+	if cfg.Join != nil {
+		// A joiner has no view until the state transfer installs one.
+		initial = View{}
+	}
 	e := &Engine{
 		cfg:        cfg,
 		rel:        cfg.Relation,
@@ -153,22 +173,27 @@ func New(cfg Config) (*Engine, error) {
 		doneC:      make(chan struct{}),
 		rootCtx:    ctx,
 		cancel:     cancel,
-		cv:         cfg.InitialView.Clone(),
+		cv:         initial.Clone(),
+		joining:    cfg.Join != nil,
 		toDeliver:  queue.New(cfg.Relation, cfg.ToDeliverCap),
 		delivered:  queue.New(cfg.Relation, 0),
 		recvMax:    make(map[ident.PID]ident.Seq),
 		globalPred: make(map[obsolete.MsgID]DataMsg),
-		flow:       newFlowState(cfg, cfg.InitialView.Members),
+		flow:       newFlowState(cfg, initial.Members),
 	}
 	e.curView = e.cv.Clone()
 	return e, nil
 }
 
-// Start launches the consensus service and the protocol loop.
+// Start launches the consensus service and the protocol loop. A joining
+// engine also starts asking its contacts for admission.
 func (e *Engine) Start() error {
 	e.cons.Start()
 	if e.cfg.StabilityInterval > 0 {
 		e.stabTick = time.NewTicker(e.cfg.StabilityInterval)
+	}
+	if e.cfg.Join != nil {
+		e.joinTick = time.NewTicker(e.cfg.Join.Retry)
 	}
 	go e.run()
 	return nil
@@ -257,8 +282,19 @@ func (e *Engine) Deliver(ctx context.Context) (Delivery, error) {
 // asking for the given processes to leave the group. It returns as soon as
 // the INIT is disseminated; the new view arrives as a DeliverView item.
 func (e *Engine) RequestViewChange(leave ...ident.PID) error {
+	return e.RequestMembershipChange(nil, ident.NewPIDs(leave...))
+}
+
+// RequestMembershipChange is the general form of RequestViewChange: the
+// next view admits the processes in join and removes the processes in
+// leave. Joined processes must be running a joining engine (Config.Join) —
+// the view change only makes them members; the state transfer that follows
+// the install is what brings them up to date. A process in both sets
+// leaves.
+func (e *Engine) RequestMembershipChange(join, leave ident.PIDs) error {
 	req := getRequest(reqViewChange, context.Background())
-	req.leave = ident.NewPIDs(leave...)
+	req.join = join.Clone()
+	req.leave = leave.Clone()
 	if err := e.submit(context.Background(), req); err != nil {
 		putRequest(req)
 		return err
@@ -294,12 +330,18 @@ func (e *Engine) run() {
 		stabC = e.stabTick.C
 		defer e.stabTick.Stop()
 	}
+	var joinC <-chan time.Time
+	if e.joinTick != nil {
+		joinC = e.joinTick.C
+		defer e.joinTick.Stop()
+		e.sendJoinReq()
+	}
 
 	for {
-		// Flow control: while blocked, stalled or expelled, leave data in
-		// the transport; senders run out of credits and stop.
+		// Flow control: while blocked, stalled, expelled or still joining,
+		// leave data in the transport; senders run out of credits and stop.
 		dataC := dataIn
-		if e.blocked || e.expelled || e.stalled != nil || e.toDeliver.Full() {
+		if e.blocked || e.expelled || e.joining || e.stalled != nil || e.toDeliver.Full() {
 			dataC = nil
 		}
 		select {
@@ -330,8 +372,19 @@ func (e *Engine) run() {
 			e.onDecision(dec)
 		case <-stabC:
 			e.gossipStability()
+		case <-joinC:
+			if e.joining {
+				e.sendJoinReq()
+			}
 		}
 		e.syncSnapshots()
+	}
+}
+
+// sendJoinReq (re)transmits the admission request to every contact.
+func (e *Engine) sendJoinReq() {
+	for _, c := range e.cfg.Join.Contacts {
+		_ = e.cfg.Endpoint.Send(c, e.cfg.Group, transport.Ctl, JoinReqMsg{})
 	}
 }
 
@@ -372,6 +425,6 @@ func (e *Engine) onRequest(req *request) {
 		e.deliverWaiters = append(e.deliverWaiters, req)
 		e.serveDeliveries()
 	case reqViewChange:
-		req.errC <- e.triggerViewChange(req.leave)
+		req.errC <- e.triggerViewChange(req.join, req.leave)
 	}
 }

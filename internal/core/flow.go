@@ -21,7 +21,16 @@ type flowState struct {
 
 	avail map[ident.PID]int          // credits I hold at each peer (sender side)
 	out   map[ident.PID]*queue.Queue // pending sends per peer
-	owed  map[ident.PID]int          // freed slots not yet granted (receiver side)
+
+	// Receiver-side ledger per sender. granted is the total number of
+	// credits handed out this view (the initial window included); used
+	// counts the data messages received, each of which consumed one of
+	// those credits at the sender. granted-used is therefore an upper
+	// bound on the credits the sender still holds — zero means the sender
+	// is known blocked.
+	owed    map[ident.PID]int // freed slots not yet granted
+	granted map[ident.PID]int
+	used    map[ident.PID]int
 }
 
 func newFlowState(cfg Config, members ident.PIDs) *flowState {
@@ -31,17 +40,22 @@ func newFlowState(cfg Config, members ident.PIDs) *flowState {
 }
 
 // reset re-arms the window for a new view: both sides return to a full
-// window by convention, with empty outgoing queues.
+// window by convention, with empty outgoing queues. It handles shrinking
+// and growing membership alike — every peer of the new view gets a fresh
+// window and ledger, state for departed peers is dropped.
 func (f *flowState) reset(members ident.PIDs) {
 	f.avail = make(map[ident.PID]int, len(members))
 	f.out = make(map[ident.PID]*queue.Queue, len(members))
 	f.owed = make(map[ident.PID]int, len(members))
+	f.granted = make(map[ident.PID]int, len(members))
+	f.used = make(map[ident.PID]int, len(members))
 	for _, p := range members {
 		if p == f.cfg.Self {
 			continue
 		}
 		f.avail[p] = f.cfg.Window
 		f.out[p] = queue.New(f.cfg.Relation, f.cfg.OutgoingCap)
+		f.granted[p] = f.cfg.Window
 	}
 }
 
@@ -83,9 +97,21 @@ func (f *flowState) pending(p ident.PID) *queue.Queue {
 	return f.out[p]
 }
 
+// received records one current-view data message arriving from sender p:
+// it consumed one of the credits this receiver granted.
+func (f *flowState) received(p ident.PID) {
+	if !f.enabled() {
+		return
+	}
+	f.used[p]++
+}
+
 // freed records that one buffer slot previously charged to sender p is
 // free again (delivered, purged, or dropped as covered), granting credits
-// in batches to bound control chatter.
+// in batches to bound control chatter. The batching must not strand a
+// sender: when p has consumed every credit granted so far it is known
+// blocked and cannot generate the traffic that would push owed over the
+// batch threshold, so whatever is owed is flushed immediately.
 func (f *flowState) freed(p ident.PID, e *Engine) {
 	if !f.enabled() {
 		return
@@ -95,27 +121,35 @@ func (f *flowState) freed(p ident.PID, e *Engine) {
 	if batch < 1 {
 		batch = 1
 	}
-	if f.owed[p] >= batch {
+	if f.owed[p] >= batch || f.used[p] >= f.granted[p] {
 		n := f.owed[p]
 		f.owed[p] = 0
+		f.granted[p] += n
 		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, CreditMsg{View: e.cv.ID, Credits: n})
 	}
 }
 
 // drainOutgoing flushes the pending queue towards p while credits last.
+// The head is only popped once its send is paid for: a message must never
+// be lost between PopHead and takeCredit.
 func (e *Engine) drainOutgoing(p ident.PID) {
 	out := e.flow.pending(p)
 	if out == nil {
 		return
 	}
-	for out.Len() > 0 && e.flow.hasCredit(p) {
-		it, _ := out.PopHead()
+	for {
+		it, ok := out.PeekHead()
+		if !ok {
+			return
+		}
 		if it.View != uint64(e.cv.ID) {
-			continue // stale: the view changed while it waited
+			out.PopHead() // stale: the view changed while it waited
+			continue
 		}
 		if !e.flow.takeCredit(p) {
-			break
+			return // out of credits: the head stays parked
 		}
+		out.PopHead()
 		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Data, DataMsg{
 			View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload,
 		})

@@ -166,11 +166,10 @@ func (n *Node) Group(g ident.GroupID) (*Group, bool) {
 	return grp, ok
 }
 
-// Create joins this node to group id: it registers the group's transport
-// inboxes, taps the shared failure detector, and starts a group-scoped
-// engine. Every member of the group must Create it with the same id and
-// InitialView.
-func (n *Node) Create(id ident.GroupID, gc GroupConfig) (*Group, error) {
+// host implements Create and Join: it wires a group-scoped engine onto
+// the node's shared endpoint and detector. join selects the engine's
+// bootstrap mode.
+func (n *Node) host(id ident.GroupID, gc GroupConfig, join *JoinSpec) (*Group, error) {
 	if id == ident.NodeGroup {
 		return nil, fmt.Errorf("core: group id %d is reserved for node-scoped traffic", id)
 	}
@@ -196,6 +195,7 @@ func (n *Node) Create(id ident.GroupID, gc GroupConfig) (*Group, error) {
 		Endpoint:          n.cfg.Endpoint,
 		Detector:          &groupDetector{Tap: tap, node: n, id: id},
 		InitialView:       gc.InitialView,
+		Join:              join,
 		Relation:          gc.Relation,
 		ToDeliverCap:      gc.ToDeliverCap,
 		OutgoingCap:       gc.OutgoingCap,
@@ -222,7 +222,13 @@ func (n *Node) Create(id ident.GroupID, gc GroupConfig) (*Group, error) {
 		return nil, fmt.Errorf("core: group %d already hosted", id)
 	}
 	n.groups[id] = grp
-	n.groupPeers[id] = gc.InitialView.Members.Clone().Remove(n.cfg.Self)
+	// A joiner monitors its contacts until the first installed view
+	// reports the real membership through the SetPeers hook.
+	peers := gc.InitialView.Members
+	if join != nil {
+		peers = join.Contacts
+	}
+	n.groupPeers[id] = peers.Clone().Remove(n.cfg.Self)
 	n.syncPeersLocked()
 	n.mu.Unlock()
 
@@ -231,6 +237,33 @@ func (n *Node) Create(id ident.GroupID, gc GroupConfig) (*Group, error) {
 		return nil, err
 	}
 	return grp, nil
+}
+
+// Join hosts group id by joining it while it runs: instead of agreeing an
+// initial view with the other members (Create), the node asks the contact
+// members for admission and installs its first view — membership,
+// reception frontiers, and the relation-purged unstable backlog — from
+// the state transfer that follows the admitting view change. The group
+// behaves like any other hosted group from then on. gc.InitialView is
+// ignored.
+func (n *Node) Join(id ident.GroupID, gc GroupConfig, contacts ...ident.PID) (*Group, error) {
+	return n.host(id, gc, &JoinSpec{Contacts: ident.NewPIDs(contacts...)})
+}
+
+// Create joins this node to group id as a founding member: it registers
+// the group's transport inboxes, taps the shared failure detector, and
+// starts a group-scoped engine. Every founding member must Create the
+// group with the same id and InitialView.
+func (n *Node) Create(id ident.GroupID, gc GroupConfig) (*Group, error) {
+	return n.host(id, gc, nil)
+}
+
+// Add asks the group to admit the given processes, which must be running
+// joining engines (Node.Join or Config.Join). It returns once the view
+// change is initiated; the joiners appear in the next installed view and
+// receive their state transfer from the sponsor.
+func (g *Group) Add(ps ...ident.PID) error {
+	return g.Engine.RequestMembershipChange(ident.NewPIDs(ps...), nil)
 }
 
 // deregisterIfUnhosted undoes Create's eager inbox registration on an

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/fd"
 	"repro/internal/ident"
 	"repro/internal/obsolete"
@@ -13,6 +14,13 @@ import (
 // ---- t2: multicast -------------------------------------------------------
 
 func (e *Engine) onMulticastReq(req *request) {
+	// Park while a join is still in flight: the first view (and with it
+	// membership and flow windows) arrives with the state transfer.
+	if e.joining {
+		e.stats.MulticastParks++
+		e.multicastQ = append(e.multicastQ, req)
+		return
+	}
 	if err := e.multicastPrecheck(req); err != nil {
 		req.mcC <- mcResult{err: err}
 		return
@@ -124,6 +132,9 @@ func (e *Engine) onData(env transport.Envelope) {
 	if dm.Meta.Sender == e.cfg.Self {
 		return // never accept echoes of our own stream
 	}
+	// Whatever happens to it next, this arrival consumed one of the
+	// credits we granted its sender (receiver-side ledger, flow.go).
+	e.flow.received(dm.Meta.Sender)
 	if dm.Meta.Seq <= e.recvMax[dm.Meta.Sender] || e.coveredLocally(dm.Meta) {
 		// Duplicate, or an m with some m' : m ⊑ m' already queued or
 		// delivered (Figure 1, t3). The slot it would have used is free.
@@ -186,12 +197,20 @@ func (e *Engine) purgeToDeliver(it queue.Item) {
 	purged := e.toDeliver.PurgeForInto(it, e.purgeScratch[:0])
 	for i := range purged {
 		p := &purged[i]
-		if p.Meta.Sender != e.cfg.Self && p.View == uint64(e.cv.ID) {
+		if p.Meta.Sender != e.cfg.Self && p.View == uint64(e.cv.ID) && !e.seededAtJoin(p.Meta) {
 			e.flow.freed(p.Meta.Sender, e)
 		}
 		purged[i] = queue.Item{} // release payload references
 	}
 	e.purgeScratch = purged[:0]
+}
+
+// seededAtJoin reports whether a current-view entry was adopted from a
+// state transfer rather than received through the sender's flow-controlled
+// channel: consuming it frees no window slot, so no credit may be granted
+// for it (a duplicate arriving on the channel is credited separately).
+func (e *Engine) seededAtJoin(m obsolete.Msg) bool {
+	return e.joinSeeded != nil && m.Seq <= e.joinSeeded[m.Sender]
 }
 
 // ---- t1: deliver ---------------------------------------------------------
@@ -237,7 +256,7 @@ func (e *Engine) deliverItem(it queue.Item) Delivery {
 			// history with the same relation so it holds live items only.
 			e.delivered.PurgeForN(it)
 			e.delivered.ForceAppend(it)
-			if it.Meta.Sender != e.cfg.Self {
+			if it.Meta.Sender != e.cfg.Self && !e.seededAtJoin(it.Meta) {
 				e.flow.freed(it.Meta.Sender, e)
 			}
 		}
@@ -252,6 +271,9 @@ func (e *Engine) deliverItem(it queue.Item) Delivery {
 
 // retryParked re-attempts parked multicasts in FIFO order.
 func (e *Engine) retryParked() {
+	if e.joining {
+		return // parked until the state transfer installs the first view
+	}
 	for len(e.multicastQ) > 0 {
 		req := e.multicastQ[0]
 		if req.ctx != nil && req.ctx.Err() != nil {
@@ -273,14 +295,19 @@ func (e *Engine) retryParked() {
 
 // ---- t4: trigger view change ---------------------------------------------
 
-func (e *Engine) triggerViewChange(leave ident.PIDs) error {
+func (e *Engine) triggerViewChange(join, leave ident.PIDs) error {
 	if e.expelled {
 		return ErrExpelled
 	}
-	if e.blocked {
-		return nil // a view change is already in progress
+	if e.joining {
+		return ErrJoining
 	}
-	init := InitMsg{View: e.cv.ID, Leave: leave}
+	if e.blocked {
+		// A view change is already in progress; joiners it does not admit
+		// re-request admission and are picked up by the next change.
+		return nil
+	}
+	init := InitMsg{View: e.cv.ID, Leave: leave, Join: join}
 	for _, p := range e.cv.Members {
 		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, init)
 	}
@@ -293,8 +320,8 @@ func (e *Engine) onSuspicion(ev fd.Event) {
 	if e.expelled {
 		return
 	}
-	if ev.Suspected && e.cfg.AutoEvict && !e.blocked && e.cv.Includes(ev.P) {
-		_ = e.triggerViewChange(ident.NewPIDs(ev.P))
+	if ev.Suspected && e.cfg.AutoEvict && !e.blocked && !e.joining && e.cv.Includes(ev.P) {
+		_ = e.triggerViewChange(nil, ident.NewPIDs(ev.P))
 	}
 	e.checkPropose()
 }
@@ -317,15 +344,29 @@ func (e *Engine) onCtl(env transport.Envelope) {
 		}
 		e.onPred(env.From, m)
 	case CreditMsg:
-		if m.View == e.cv.ID {
-			e.flow.credit(env.From, m.Credits)
-			e.drainOutgoing(env.From)
-			e.retryParked()
+		// A grant from another view must not inflate this view's window:
+		// both sides re-arm to a full window at install, so crediting a
+		// stale grant would double-count the slots it stood for.
+		if m.View != e.cv.ID {
+			e.stats.CreditsStaleView++
+			return
 		}
+		e.flow.credit(env.From, m.Credits)
+		e.drainOutgoing(env.From)
+		e.retryParked()
 	case StableMsg:
 		e.onStable(env.From, m)
+	case JoinReqMsg:
+		e.onJoinReq(env.From)
+	case StateMsg:
+		e.onJoinState(env.From, m)
 	}
 }
+
+// maxDeferredCtl bounds the future-view control stash: a backstop against
+// garbage from broken peers. Drops past it are counted in
+// Stats.CtlDeferredDropped.
+const maxDeferredCtl = 4096
 
 // deferFuture stashes a control message for a view this process has not
 // installed yet. A peer that already installed view v may initiate the
@@ -337,9 +378,10 @@ func (e *Engine) deferFuture(env transport.Envelope, v ident.ViewID) bool {
 	if v <= e.cv.ID {
 		return false
 	}
-	const maxDeferred = 4096 // backstop against garbage from broken peers
-	if len(e.deferredCtl) < maxDeferred {
+	if len(e.deferredCtl) < maxDeferredCtl {
 		e.deferredCtl = append(e.deferredCtl, env)
+	} else {
+		e.stats.CtlDeferredDropped++
 	}
 	return true
 }
@@ -356,10 +398,10 @@ func (e *Engine) replayDeferred() {
 	}
 }
 
-// onInit is transition t5: block the group, adopt the leave set, compute
-// and disseminate the local pred sequence.
+// onInit is transition t5: block the group, adopt the leave and join
+// sets, compute and disseminate the local pred sequence.
 func (e *Engine) onInit(from ident.PID, m InitMsg) {
-	if m.View != e.cv.ID || e.blocked {
+	if m.View != e.cv.ID || e.blocked || e.joining {
 		return
 	}
 	if !e.cv.Includes(from) {
@@ -375,6 +417,9 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 	e.blocked = true
 	e.stalled = nil // unaccepted arrival: covered by its sender's pred set
 	e.leave = ident.NewPIDs(m.Leave...).Intersect(e.cv.Members)
+	// Current members need no admission and a process asked to leave is
+	// not admitted by the same change.
+	e.join = ident.NewPIDs(m.Join...).Without(e.cv.Members).Without(e.leave)
 
 	pred := PredMsg{View: e.cv.ID, Msgs: e.localPred()}
 	for _, p := range e.cv.Members {
@@ -439,7 +484,9 @@ func (e *Engine) checkPropose() {
 	}
 	e.proposed = true
 
-	next := View{ID: e.cv.ID + 1, Members: e.predReceived.Without(e.leave)}
+	// Joiners are added verbatim: they have no pred set to contribute and
+	// take no part in the consensus deciding the view that admits them.
+	next := View{ID: e.cv.ID + 1, Members: e.predReceived.Without(e.leave).Union(e.join)}
 	val := consensusValue{Next: next, Pred: sortedPred(e.globalPred)}
 	raw, err := encodeValue(val)
 	if err != nil {
@@ -533,6 +580,11 @@ func (e *Engine) install(val consensusValue) {
 	e.toDeliver.Purge()
 	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
 
+	// Dynamic membership: newcomers admitted by this view get a semantic
+	// state transfer from their sponsor. This must read e.delivered and
+	// e.cv before the per-view reset below.
+	e.sendJoinStates(val.Next)
+
 	if !val.Next.Includes(e.cfg.Self) {
 		e.expelled = true
 		for _, m := range e.multicastQ {
@@ -546,7 +598,9 @@ func (e *Engine) install(val consensusValue) {
 	e.cv = val.Next.Clone()
 	e.blocked = false
 	e.proposed = false
+	e.join = nil
 	e.leave = nil
+	e.joinSeeded = nil
 	e.globalPred = make(map[obsolete.MsgID]DataMsg)
 	e.predReceived = nil
 	e.flow.reset(e.cv.Members)
@@ -559,4 +613,174 @@ func (e *Engine) install(val consensusValue) {
 	e.serveDeliveries()
 	e.retryParked()
 	e.replayDeferred()
+	e.serveJoins()
+}
+
+// ---- dynamic membership: join handshake ------------------------------------
+
+// onJoinReq parks an admission request; requests arriving mid view change
+// wait for the install (the joiner retransmits anyway, but parking spares
+// it a retry period).
+func (e *Engine) onJoinReq(from ident.PID) {
+	if e.expelled || e.joining || from == e.cfg.Self {
+		return
+	}
+	e.pendingJoins = e.pendingJoins.Add(from)
+	e.serveJoins()
+}
+
+// serveJoins resolves parked admission requests once no view change is in
+// flight. A requester already in the current view was admitted but lost
+// its state transfer (e.g. its sponsor crashed between install and send):
+// it gets a fresh snapshot directly. The rest are admitted by a view
+// change; if a concurrent change wins without them, their retransmitted
+// requests try again.
+func (e *Engine) serveJoins() {
+	if e.blocked || e.expelled || e.joining || len(e.pendingJoins) == 0 {
+		return
+	}
+	var admit ident.PIDs
+	var snap *StateMsg // one snapshot serves every already-member requester
+	snapSize := 0
+	for _, p := range e.pendingJoins {
+		if e.cv.Includes(p) {
+			if snap == nil {
+				st := e.buildJoinState(e.cv)
+				snap = &st
+				snapSize = stateMsgBytes(st)
+			}
+			e.sendJoinState(p, *snap, snapSize)
+		} else {
+			admit = admit.Add(p)
+		}
+	}
+	e.pendingJoins = nil
+	if len(admit) > 0 {
+		_ = e.triggerViewChange(admit, nil)
+	}
+}
+
+// sendJoinStates makes the sponsor — the lowest-ordered member surviving
+// from the closing view — ship the state transfer to every newcomer of
+// the view being installed. Every incumbent computes the same sponsor, so
+// exactly one transfer is sent per join unless the sponsor crashes, in
+// which case the joiner's retransmitted request reaches serveJoins at
+// another member.
+func (e *Engine) sendJoinStates(next View) {
+	joiners := next.Members.Without(e.cv.Members)
+	if len(joiners) == 0 {
+		return
+	}
+	if inc := e.cv.Members.Intersect(next.Members); len(inc) == 0 || inc[0] != e.cfg.Self {
+		return
+	}
+	st := e.buildJoinState(next)
+	size := stateMsgBytes(st)
+	for _, j := range joiners {
+		e.sendJoinState(j, st, size)
+	}
+}
+
+// buildJoinState snapshots this member's state for a joiner: the view,
+// the per-sender reception frontiers, and the unstable backlog — every
+// data message still held in the delivery history or the delivery queue,
+// purged once more through the obsolescence relation so cross-queue
+// covers collapse. This is the semantic state transfer: under a purging
+// relation the backlog is O(window) however long the group has run.
+func (e *Engine) buildJoinState(next View) StateMsg {
+	snap := queue.New(e.rel, 0)
+	collect := func(it *queue.Item) bool {
+		if it.Kind == queue.Data {
+			_, _ = snap.AppendPurge(*it)
+		}
+		return true
+	}
+	e.delivered.EachRef(collect)
+	e.toDeliver.EachRef(collect)
+
+	backlog := make([]DataMsg, 0, snap.Len())
+	snap.EachRef(func(it *queue.Item) bool {
+		backlog = append(backlog, DataMsg{View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload})
+		return true
+	})
+	return StateMsg{View: next.ID, Members: next.Members.Clone(), Recv: e.recvSnapshot(), Backlog: backlog}
+}
+
+func (e *Engine) sendJoinState(to ident.PID, st StateMsg, size int) {
+	_ = e.cfg.Endpoint.Send(to, e.cfg.Group, transport.Ctl, st)
+	e.stats.JoinStatesSent++
+	e.stats.JoinBacklogSent += uint64(len(st.Backlog))
+	e.stats.JoinBytesSent += uint64(size)
+}
+
+// onJoinState installs the first view of a joining engine from the state
+// transfer: frontiers, backlog, then the view marker — the application
+// sees the inherited state first and the view notification tells it the
+// join completed. Duplicate transfers (retries, several responders) after
+// the first are ignored.
+func (e *Engine) onJoinState(from ident.PID, m StateMsg) {
+	if !e.joining {
+		return
+	}
+	members := ident.NewPIDs(m.Members...)
+	// Only a member of the view being transferred may hand it over (the
+	// sponsor, or — on the recovery path — the contact that was re-asked);
+	// a transfer from anyone else would hijack the joining engine.
+	if m.View == 0 || !members.Contains(e.cfg.Self) || !members.Contains(from) || from == e.cfg.Self {
+		return
+	}
+	if e.joinTick != nil {
+		e.joinTick.Stop()
+	}
+	e.joining = false
+	e.stats.ViewsInstalled++
+
+	// Adopt the sponsor's reception frontiers. Our own stream's frontier
+	// continues the sequence numbering if this PID multicast in an
+	// earlier incarnation.
+	for s, q := range m.Recv {
+		if s == e.cfg.Self {
+			if q > e.lastSent {
+				e.lastSent = q
+			}
+			continue
+		}
+		if q > e.recvMax[s] {
+			e.recvMax[s] = q
+		}
+	}
+	// Backlog entries of the installed view never consumed a window slot
+	// here; remember them so their consumption grants no credits.
+	e.joinSeeded = make(map[ident.PID]ident.Seq)
+	for _, dm := range m.Backlog {
+		if dm.View == m.View && dm.Meta.Seq > e.joinSeeded[dm.Meta.Sender] {
+			e.joinSeeded[dm.Meta.Sender] = dm.Meta.Seq
+		}
+		e.toDeliver.ForceAppend(queue.Item{
+			Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload,
+		})
+	}
+	e.cv = View{ID: m.View, Members: members}
+	e.toDeliver.ForceAppend(queue.Item{Kind: queue.Control, View: uint64(m.View), Ctl: e.cv.Clone()})
+	e.stats.JoinBacklogRecv = uint64(len(m.Backlog))
+	e.stats.JoinBytesRecv = uint64(stateMsgBytes(m))
+
+	e.flow.reset(e.cv.Members)
+	e.resetStabilityForView()
+	if pd, ok := e.cfg.Detector.(interface{ SetPeers(ident.PIDs) }); ok {
+		pd.SetPeers(e.cv.Members)
+	}
+	e.serveDeliveries()
+	e.retryParked()
+	e.replayDeferred()
+}
+
+// stateMsgBytes is the wire size of a state transfer — what the join
+// benchmarks compare between semantic and reliable configurations.
+func stateMsgBytes(m StateMsg) int {
+	b, err := codec.Marshal(nil, m)
+	if err != nil {
+		return 0
+	}
+	return len(b)
 }

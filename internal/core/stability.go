@@ -32,20 +32,26 @@ type StableMsg struct {
 	Recv map[ident.PID]ident.Seq
 }
 
+// recvSnapshot copies this process's per-sender reception frontier,
+// including its own stream: everything we multicast is trivially received
+// here. Both the stability gossip and the join state transfer ship it.
+func (e *Engine) recvSnapshot() map[ident.PID]ident.Seq {
+	recv := make(map[ident.PID]ident.Seq, len(e.recvMax)+1)
+	for s, q := range e.recvMax {
+		recv[s] = q
+	}
+	if e.lastSent > recv[e.cfg.Self] {
+		recv[e.cfg.Self] = e.lastSent
+	}
+	return recv
+}
+
 // gossipStability broadcasts this process's reception frontier.
 func (e *Engine) gossipStability() {
 	if e.expelled || e.blocked {
 		return
 	}
-	recv := make(map[ident.PID]ident.Seq, len(e.recvMax)+1)
-	for s, q := range e.recvMax {
-		recv[s] = q
-	}
-	// Our own stream: everything we multicast is trivially received here.
-	if e.lastSent > recv[e.cfg.Self] {
-		recv[e.cfg.Self] = e.lastSent
-	}
-	m := StableMsg{View: e.cv.ID, Recv: recv}
+	m := StableMsg{View: e.cv.ID, Recv: e.recvSnapshot()}
 	for _, p := range e.cv.Members {
 		if p == e.cfg.Self {
 			e.onStable(p, m)

@@ -18,11 +18,40 @@ type DataMsg struct {
 	Payload []byte
 }
 
-// InitMsg is the [INIT, v, l] message of Figure 1: it triggers the view
-// change removing the processes in Leave.
+// InitMsg is the [INIT, v, l] message of Figure 1, extended for dynamic
+// membership: it triggers the view change removing the processes in Leave
+// and admitting the processes in Join. Joiners do not take part in the
+// flush or the consensus deciding the view that admits them; they are
+// brought up to date afterwards by a StateMsg.
 type InitMsg struct {
 	View  ident.ViewID
 	Leave []ident.PID
+	Join  []ident.PID
+}
+
+// JoinReqMsg is sent by a process outside the group to a contact member to
+// ask admission; the envelope's From identifies the joiner. A member
+// receiving it triggers a view change whose Join set contains the joiner —
+// or, when the joiner is already a member of the current view (its state
+// transfer was lost, e.g. the sponsor crashed), answers directly with a
+// fresh StateMsg.
+type JoinReqMsg struct{}
+
+// StateMsg is the semantic state transfer that completes a join: the
+// installed view, the sponsor's per-sender reception frontiers, and the
+// non-obsolete unstable backlog — the delivered history and still-queued
+// messages after purging them through the group's obsolescence relation.
+// Because purging keeps those buffers O(window) (§2.3/§4.2), the transfer
+// cost is O(window) rather than O(history).
+type StateMsg struct {
+	View    ident.ViewID
+	Members []ident.PID
+	// Recv maps each sender to the highest sequence number the sponsor had
+	// received from it when the snapshot was taken; the joiner adopts it as
+	// its reception frontier so direct copies of backlog messages are
+	// recognised as duplicates.
+	Recv    map[ident.PID]ident.Seq
+	Backlog []DataMsg
 }
 
 // PredMsg is the [PRED, v, P] message of Figure 1: the sender's sequence
@@ -49,6 +78,10 @@ func init() {
 	codec.Register[PredMsg](codec.TPredMsg, appendPredMsg, readPredMsg)
 	codec.Register[CreditMsg](codec.TCreditMsg, appendCreditMsg, readCreditMsg)
 	codec.Register[StableMsg](codec.TStableMsg, appendStableMsg, readStableMsg)
+	codec.Register[JoinReqMsg](codec.TJoinReqMsg,
+		func(dst []byte, _ JoinReqMsg) []byte { return dst },
+		func(_ *codec.Reader) (JoinReqMsg, error) { return JoinReqMsg{}, nil })
+	codec.Register[StateMsg](codec.TStateMsg, appendStateMsg, readStateMsg)
 }
 
 // ---- binary encoders (internal/codec) --------------------------------------
@@ -92,22 +125,68 @@ func readDataMsgStrict(r *codec.Reader) (DataMsg, error) {
 
 func appendInitMsg(dst []byte, m InitMsg) []byte {
 	dst = codec.AppendUvarint(dst, uint64(m.View))
-	dst = codec.AppendCount(dst, len(m.Leave), m.Leave == nil)
-	for _, p := range m.Leave {
-		dst = codec.AppendString(dst, string(p))
-	}
-	return dst
+	dst = appendPIDs(dst, m.Leave)
+	return appendPIDs(dst, m.Join)
 }
 
 func readInitMsg(r *codec.Reader) (InitMsg, error) {
 	var m InitMsg
 	m.View = ident.ViewID(r.Uvarint())
+	m.Leave = readPIDs(r)
+	m.Join = readPIDs(r)
+	return m, r.Err()
+}
+
+func appendPIDs(dst []byte, ps []ident.PID) []byte {
+	dst = codec.AppendCount(dst, len(ps), ps == nil)
+	for _, p := range ps {
+		dst = codec.AppendString(dst, string(p))
+	}
+	return dst
+}
+
+func readPIDs(r *codec.Reader) []ident.PID {
+	n, isNil := r.Count()
+	if isNil {
+		return nil
+	}
+	out := make([]ident.PID, 0, capHint(n))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, ident.PID(r.String()))
+	}
+	return out
+}
+
+// appendStateMsg encodes the frontier map with sorted keys so the encoding
+// is deterministic across processes (and its size comparable in tests).
+func appendStateMsg(dst []byte, m StateMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = appendPIDs(dst, m.Members)
+	dst = codec.AppendCount(dst, len(m.Recv), m.Recv == nil)
+	keys := make([]ident.PID, 0, len(m.Recv))
+	for p := range m.Recv {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, p := range keys {
+		dst = codec.AppendString(dst, string(p))
+		dst = codec.AppendUvarint(dst, uint64(m.Recv[p]))
+	}
+	return appendDataMsgs(dst, m.Backlog)
+}
+
+func readStateMsg(r *codec.Reader) (StateMsg, error) {
+	var m StateMsg
+	m.View = ident.ViewID(r.Uvarint())
+	m.Members = readPIDs(r)
 	if n, isNil := r.Count(); !isNil {
-		m.Leave = make([]ident.PID, 0, capHint(n))
+		m.Recv = make(map[ident.PID]ident.Seq, capHint(n))
 		for i := 0; i < n && r.Err() == nil; i++ {
-			m.Leave = append(m.Leave, ident.PID(r.String()))
+			p := ident.PID(r.String())
+			m.Recv[p] = ident.Seq(r.Uvarint())
 		}
 	}
+	m.Backlog = readDataMsgs(r)
 	return m, r.Err()
 }
 

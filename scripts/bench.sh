@@ -5,10 +5,11 @@
 #
 # Two benchmark classes are run differently:
 #
-#   figures — the Fig3–Fig5 scenario replays. Each iteration replays a
-#     full recorded session, so one iteration is the measurement and
-#     ns/op is not a latency figure; they run at -benchtime 1x and their
-#     custom metrics (thresholds, idle%, occupancy) are the payload.
+#   figures — the Fig3–Fig5 scenario replays plus the join state-transfer
+#     scenario. Each iteration replays a full recorded session, so one
+#     iteration is the measurement and ns/op is not a latency figure; they
+#     run at -benchtime 1x and their custom metrics (thresholds, idle%,
+#     occupancy, xfer-bytes) are the payload.
 #   micro — the hot-path microbenchmarks (wire codec, engine multicast,
 #     multi-group node throughput, view change, queue purge/pop).
 #     Single-iteration numbers are noise here, so they run at a fixed
@@ -31,7 +32,7 @@ trap 'rm -f "$RAW_FIG" "$RAW_MICRO"' EXIT
 # failing benchmark aborts the script under set -e instead of silently
 # producing an incomplete JSON.
 echo "== figures (scenario replays, -benchtime 1x) =="
-go test -run '^$' -bench 'BenchmarkFig' -benchtime 1x . > "$RAW_FIG" 2>&1 || {
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkJoinStateTransfer' -benchtime 1x . > "$RAW_FIG" 2>&1 || {
     cat "$RAW_FIG" >&2
     exit 1
 }
@@ -83,7 +84,7 @@ emit_entries() {
     printf '{\n'
     printf '  "source": "scripts/bench.sh",\n'
     printf '  "runs": {\n'
-    printf '    "figures": {"benchtime": "1x", "count": 1, "note": "Fig3-Fig5 scenario replays: one iteration replays a whole recorded session; the custom metrics are the measurement, ns/op is not a hot-path latency"},\n'
+    printf '    "figures": {"benchtime": "1x", "count": 1, "note": "Fig3-Fig5 scenario replays and the join state transfer: one iteration replays a whole recorded session; the custom metrics are the measurement, ns/op is not a hot-path latency"},\n'
     printf '    "micro": {"benchtime": "%s", "count": %s, "note": "hot-path microbenchmarks: fixed iteration count, per-metric means over count runs"}\n' "$MICRO_BENCHTIME" "$MICRO_COUNT"
     printf '  },\n'
     printf '  "benchmarks": [\n'
