@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/obsolete"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -383,7 +384,7 @@ func BenchmarkConsensusDecision(b *testing.B) {
 			b.Fatal(err)
 		}
 		det := fd.NewManual()
-		svc := consensus.New(ep, det, ident.NodeGroup)
+		svc := consensus.New(ep, det, ident.NodeGroup, nil)
 		svc.Start()
 		svcs[p] = svc
 		defer svc.Stop()
@@ -411,6 +412,13 @@ func BenchmarkConsensusDecision(b *testing.B) {
 // liveGroup spins up an n-member engine group with fast consumer loops,
 // returning the producer engine, its tracker, and a shutdown func.
 func liveGroup(b *testing.B, rel obsolete.Relation, buffer int) (*core.Engine, func()) {
+	return liveGroupObs(b, rel, buffer, nil)
+}
+
+// liveGroupObs is liveGroup with an obs bundle factory: mk is called once
+// per engine (each gets a private registry so in-process members don't
+// share unlabelled instruments); nil means uninstrumented.
+func liveGroupObs(b *testing.B, rel obsolete.Relation, buffer int, mk func() *obs.Obs) (*core.Engine, func()) {
 	b.Helper()
 	net := transport.NewMemNetwork()
 	pids := ident.NewPIDs("p0", "p1", "p2")
@@ -425,9 +433,14 @@ func liveGroup(b *testing.B, rel obsolete.Relation, buffer int) (*core.Engine, f
 			b.Fatal(err)
 		}
 		det := fd.NewManual()
+		var ob *obs.Obs
+		if mk != nil {
+			ob = mk()
+		}
 		eng, err := core.New(core.Config{
 			Self: p, Endpoint: ep, Detector: det, InitialView: view,
 			Relation: rel, ToDeliverCap: buffer, OutgoingCap: buffer, Window: buffer,
+			Obs: ob,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -473,6 +486,37 @@ func BenchmarkEngineMulticastSemantic(b *testing.B) {
 		if _, err := producer.Multicast(ctx, meta, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMulticastInstrumented measures the cost of the metrics/events
+// instrumentation on the multicast hot path. "on" gives every engine a
+// live private registry (obs.Default()), "off" the nil instruments of
+// obs.Nop() — so on/off isolates exactly the atomics and timestamping the
+// observability layer adds. The acceptance bar is "on" within 5% of "off".
+func BenchmarkMulticastInstrumented(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		mk   func() *obs.Obs
+	}{
+		{"on", obs.Default},
+		{"off", obs.Nop},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			producer, stop := liveGroupObs(b, obsolete.KEnumeration{K: 64}, 32, v.mk)
+			defer stop()
+			tr := obsolete.NewItemTracker(obsolete.NewKTracker(64))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seq, annot := tr.Update(uint32(i % 8))
+				meta := obsolete.Msg{Sender: "p0", Seq: seq, Annot: annot}
+				if _, err := producer.Multicast(ctx, meta, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

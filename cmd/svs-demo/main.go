@@ -16,8 +16,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
+	gonet "net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -25,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/obsolete"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -39,15 +46,19 @@ func main() {
 		slowDelay = flag.Duration("slowdelay", 20*time.Millisecond, "per-delivery slowness of the slow member")
 		buffer    = flag.Int("buffer", 16, "delivery/outgoing buffer size")
 		join      = flag.Bool("join", false, "after the run, a new node joins group 1 with a semantic state transfer")
+		metrics   = flag.String("metrics", "", "serve metrics over HTTP on this address (JSON /metrics, expvar /debug/vars, pprof /debug/pprof)")
+		linger    = flag.Duration("linger", 0, "keep the cluster (and the metrics endpoint) alive this long after the run")
+		events    = flag.Bool("events", false, "log structured protocol events to stderr")
 	)
 	flag.Parse()
-	if err := run(*members, *groups, *mode, *seconds, *slowDelay, *buffer, *join); err != nil {
+	if err := run(*members, *groups, *mode, *seconds, *slowDelay, *buffer, *join, *metrics, *linger, *events); err != nil {
 		fmt.Fprintf(os.Stderr, "svs-demo: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(members, groups int, mode string, seconds float64, slowDelay time.Duration, buffer int, join bool) error {
+func run(members, groups int, mode string, seconds float64, slowDelay time.Duration, buffer int, join bool,
+	metricsAddr string, linger time.Duration, events bool) error {
 	if groups < 1 {
 		return fmt.Errorf("need at least one group")
 	}
@@ -75,21 +86,34 @@ func run(members, groups int, mode string, seconds float64, slowDelay time.Durat
 	type member struct {
 		pid       ident.PID
 		node      *core.Node
+		reg       *obs.Registry
 		groups    map[ident.GroupID]*core.Group
 		delivered int
 	}
 	ms := make([]*member, 0, members)
 	var mu sync.Mutex
 
+	var logger *slog.Logger
+	if events {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	for _, p := range all {
 		ep, err := net.Endpoint(p)
 		if err != nil {
 			return err
 		}
+		// One registry per member: engine metrics carry only a group
+		// label, so in-process nodes must not share instruments.
+		reg := obs.NewRegistry()
+		nodeLog := logger
+		if nodeLog != nil {
+			nodeLog = nodeLog.With(slog.String("node", string(p)))
+		}
 		node, err := core.NewNode(core.NodeConfig{
 			Self:      p,
 			Endpoint:  ep,
 			Heartbeat: fd.HeartbeatOptions{Interval: 20 * time.Millisecond},
+			Obs:       obs.New(nil, reg, nodeLog),
 		})
 		if err != nil {
 			return err
@@ -97,6 +121,7 @@ func run(members, groups int, mode string, seconds float64, slowDelay time.Durat
 		ms = append(ms, &member{
 			pid:    p,
 			node:   node,
+			reg:    reg,
 			groups: make(map[ident.GroupID]*core.Group, groups),
 		})
 	}
@@ -105,6 +130,40 @@ func run(members, groups int, mode string, seconds float64, slowDelay time.Durat
 			m.node.Close()
 		}
 	}()
+
+	// snapshotAll is the exported shape: one obs.Snapshot per member pid.
+	snapshotAll := func() map[string]obs.Snapshot {
+		out := make(map[string]obs.Snapshot, len(ms))
+		for _, m := range ms {
+			out[string(m.pid)] = m.node.Metrics()
+		}
+		return out
+	}
+	if metricsAddr != "" {
+		ln, err := gonet.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		expvar.Publish("svs", expvar.Func(func() any { return snapshotAll() }))
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snapshotAll())
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", ln.Addr())
+	}
+
 	for gid := ident.GroupID(1); gid <= ident.GroupID(groups); gid++ {
 		for _, m := range ms {
 			g, err := m.node.Create(gid, core.GroupConfig{
@@ -257,6 +316,29 @@ func run(members, groups int, mode string, seconds float64, slowDelay time.Durat
 		if err := joinDemo(ctx, net, ms[0].pid, view.Members, rel, buffer, ms[0].groups[1], &wg); err != nil {
 			return err
 		}
+	}
+
+	// One-line machine-greppable summary over the whole cluster, computed
+	// from the obs registries the -metrics endpoint serves.
+	var sumDelivered, sumPurged, sumViews uint64
+	for _, m := range ms {
+		snap := m.node.Metrics()
+		sumDelivered += snap.Sum("engine_delivered_total")
+		sumViews += snap.Sum("engine_views_installed_total")
+		for _, g := range m.groups {
+			sumPurged += g.Stats().PurgedToDeliver
+		}
+	}
+	purgePct := 0.0
+	if sumDelivered+sumPurged > 0 {
+		purgePct = 100 * float64(sumPurged) / float64(sumDelivered+sumPurged)
+	}
+	fmt.Printf("summary: delivered=%d purged=%d purge=%.1f%% views=%d\n",
+		sumDelivered, sumPurged, purgePct, sumViews)
+
+	if linger > 0 {
+		fmt.Printf("lingering %v (metrics stay scrapeable; ctrl-c to stop early)\n", linger)
+		time.Sleep(linger)
 	}
 	cancel()
 	wg.Wait()

@@ -29,6 +29,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/fd"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -100,7 +101,10 @@ type Service struct {
 	det   fd.Detector
 	group ident.GroupID
 	// poll is how often waiting phases re-check the failure detector.
-	poll time.Duration
+	poll  time.Duration
+	clock obs.Clock
+	ev    *obs.Events
+	m     svcMetrics
 
 	mu        sync.Mutex
 	instances map[string]*instance
@@ -109,14 +113,31 @@ type Service struct {
 	wg        sync.WaitGroup
 }
 
-// New returns a stopped service for one group's consensus instances;
-// call Start.
-func New(ep transport.Endpoint, det fd.Detector, group ident.GroupID) *Service {
+// svcMetrics are the service's instruments; nil instruments record nothing.
+type svcMetrics struct {
+	decisions *obs.Counter   // instances decided (locally observed)
+	nacks     *obs.Counter   // coordinator suspicions turned into NACKs
+	rounds    *obs.Histogram // rounds a proposing process ran until deciding
+	latency   *obs.Histogram // propose-to-decide wall time
+}
+
+// New returns a stopped service for one group's consensus instances; call
+// Start. ob supplies the poll clock, metrics and events; nil uses the wall
+// clock with no instrumentation.
+func New(ep transport.Endpoint, det fd.Detector, group ident.GroupID, ob *obs.Obs) *Service {
 	return &Service{
-		ep:        ep,
-		det:       det,
-		group:     group,
-		poll:      2 * time.Millisecond,
+		ep:    ep,
+		det:   det,
+		group: group,
+		poll:  2 * time.Millisecond,
+		clock: ob.Clock(),
+		ev:    ob.Events(),
+		m: svcMetrics{
+			decisions: ob.Counter("consensus_decisions_total"),
+			nacks:     ob.Counter("consensus_nacks_total"),
+			rounds:    ob.Histogram("consensus_rounds", obs.CountBuckets),
+			latency:   ob.Histogram("consensus_decide_seconds", obs.DurationBuckets),
+		},
 		instances: make(map[string]*instance),
 		done:      make(chan struct{}),
 	}
@@ -162,6 +183,7 @@ func (s *Service) Propose(ctx context.Context, id string, participants ident.PID
 		in.proposed = true
 		in.participants = participants.Clone()
 		in.est = value
+		in.start = s.clock.Now()
 		close(in.proposeC) // unblock the runner
 	}
 	in.mu.Unlock()
@@ -266,6 +288,8 @@ type instance struct {
 	participants ident.PIDs
 	est          []byte
 	ts           int
+	round        int       // current round of the local runner
+	start        time.Time // when the local proposal arrived
 	decided      bool
 	decision     []byte
 	inbox        []inMsg
@@ -333,6 +357,7 @@ func (in *instance) run() {
 
 		// Phase 1: send estimate to the coordinator.
 		in.mu.Lock()
+		in.round = r
 		est, ts := in.est, in.ts
 		in.mu.Unlock()
 		in.send(coord, Msg{Instance: in.id, Round: r, Type: msgEstimate, Value: est, Ts: ts})
@@ -366,6 +391,7 @@ func (in *instance) run() {
 			in.mu.Unlock()
 			in.send(coord, Msg{Instance: in.id, Round: r, Type: msgAck})
 		} else {
+			in.svc.m.nacks.Inc()
 			in.send(coord, Msg{Instance: in.id, Round: r, Type: msgNack})
 		}
 
@@ -424,6 +450,15 @@ func (in *instance) decideLocked(v []byte) {
 	in.decided = true
 	in.decision = v
 	close(in.decidedC)
+	in.svc.m.decisions.Inc()
+	if in.proposed {
+		// Rounds and latency only make sense at a process that actually
+		// ran the protocol; a bystander learning via the decide flood
+		// would skew both towards zero.
+		in.svc.m.rounds.Observe(float64(in.round + 1))
+		in.svc.m.latency.ObserveDuration(in.svc.clock.Since(in.start))
+		in.svc.ev.ConsensusDecision(in.id, in.round+1)
+	}
 	parts := in.participants
 	self := in.svc.ep.Self()
 	go func() {
@@ -444,7 +479,7 @@ func (in *instance) decideLocked(v []byte) {
 // a nil slice with true means aborted by the abort predicate.
 func (in *instance) collect(round int, t msgType, want int, abort func(Msg) bool) ([]inMsg, bool) {
 	var got []inMsg
-	ticker := time.NewTicker(in.svc.poll)
+	ticker := in.svc.clock.NewTicker(in.svc.poll)
 	defer ticker.Stop()
 	for {
 		match, decided := in.takeMatching(func(m Msg) bool {
@@ -467,7 +502,7 @@ func (in *instance) collect(round int, t msgType, want int, abort func(Msg) bool
 		}
 		select {
 		case <-in.wake:
-		case <-ticker.C:
+		case <-ticker.C():
 		case <-in.svc.done:
 			return nil, false
 		}
@@ -478,7 +513,7 @@ func (in *instance) collect(round int, t msgType, want int, abort func(Msg) bool
 // when the failure detector suspects the coordinator. alive is false when
 // the instance terminated meanwhile.
 func (in *instance) awaitPropose(round int, coord ident.PID) (prop Msg, got, alive bool) {
-	ticker := time.NewTicker(in.svc.poll)
+	ticker := in.svc.clock.NewTicker(in.svc.poll)
 	defer ticker.Stop()
 	for {
 		match, decided := in.takeMatching(func(m Msg) bool {
@@ -495,7 +530,7 @@ func (in *instance) awaitPropose(round int, coord ident.PID) (prop Msg, got, ali
 		}
 		select {
 		case <-in.wake:
-		case <-ticker.C:
+		case <-ticker.C():
 		case <-in.svc.done:
 			return Msg{}, false, false
 		}

@@ -42,7 +42,7 @@ func newHarness(t *testing.T, n int) *harness {
 			t.Fatal(err)
 		}
 		det := fd.NewManual()
-		svc := New(ep, det, ident.NodeGroup)
+		svc := New(ep, det, ident.NodeGroup, nil)
 		svc.Start()
 		h.eps[p] = ep
 		h.dets[p] = det

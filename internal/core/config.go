@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fd"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/obsolete"
 	"repro/internal/transport"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	// Relation is the obsolescence relation; nil means the empty relation,
 	// i.e. classic View Synchrony.
 	Relation obsolete.Relation
+	// Obs supplies the engine's clock, metrics and structured events. All of
+	// the engine's timestamps and tickers come from its Clock, so tests can
+	// drive the protocol under a deterministic obs.Fake. Nil means the wall
+	// clock with no metrics and no events.
+	Obs *obs.Obs
 
 	// ToDeliverCap bounds the delivery queue (Figure 1's to-deliver).
 	// 0 means unbounded. A full queue exerts flow control on senders.

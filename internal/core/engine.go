@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/obsolete"
 	"repro/internal/queue"
 	"repro/internal/transport"
@@ -16,9 +17,12 @@ import (
 // it with New, drive it with Multicast / Deliver / RequestViewChange, and
 // shut it down with Stop.
 type Engine struct {
-	cfg  Config
-	rel  obsolete.Relation
-	cons *consensus.Service
+	cfg   Config
+	rel   obsolete.Relation
+	cons  *consensus.Service
+	clock obs.Clock
+	ev    *obs.Events
+	m     engMetrics
 
 	reqC  chan *request
 	decC  chan decision
@@ -49,7 +53,8 @@ type Engine struct {
 	// transfer: those entries never consumed a window slot here, so their
 	// delivery or purge must not grant credits (see deliverItem).
 	joining      bool
-	joinTick     *time.Ticker
+	joinTick     obs.Ticker
+	joinStart    time.Time // when the join handshake began (joinDur)
 	pendingJoins ident.PIDs
 	joinSeeded   map[ident.PID]ident.Seq
 
@@ -66,10 +71,13 @@ type Engine struct {
 
 	flow *flowState
 
+	// blockStart stamps the group blocking at t5 (viewChange histogram).
+	blockStart time.Time
+
 	// Stability tracking (see stability.go).
 	recvTable map[ident.PID]map[ident.PID]ident.Seq
 	stable    map[ident.PID]ident.Seq
-	stabTick  *time.Ticker
+	stabTick  obs.Ticker
 
 	deliverWaiters []*request
 	multicastQ     []*request
@@ -99,6 +107,11 @@ type request struct {
 	payload []byte
 	join    ident.PIDs // view change
 	leave   ident.PIDs
+
+	// parkedAt stamps a multicast entering the parked queue, so the flow
+	// control stall it suffered can be observed at commit (parkDur). Zero
+	// when the engine has no park histogram or the request never parked.
+	parkedAt time.Time
 
 	errC chan error    // view change / deliver failure reply
 	mcC  chan mcResult // multicast reply
@@ -139,6 +152,7 @@ func putRequest(req *request) {
 	req.payload = nil
 	req.join = nil
 	req.leave = nil
+	req.parkedAt = time.Time{}
 	requestPool.Put(req)
 }
 
@@ -166,7 +180,10 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:        cfg,
 		rel:        cfg.Relation,
-		cons:       consensus.New(cfg.Endpoint, cfg.Detector, cfg.Group),
+		cons:       consensus.New(cfg.Endpoint, cfg.Detector, cfg.Group, cfg.Obs),
+		clock:      cfg.Obs.Clock(),
+		ev:         cfg.Obs.Events(),
+		m:          newEngMetrics(cfg.Obs),
 		reqC:       make(chan *request, 64),
 		decC:       make(chan decision, 4),
 		stopC:      make(chan struct{}),
@@ -190,10 +207,11 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) Start() error {
 	e.cons.Start()
 	if e.cfg.StabilityInterval > 0 {
-		e.stabTick = time.NewTicker(e.cfg.StabilityInterval)
+		e.stabTick = e.clock.NewTicker(e.cfg.StabilityInterval)
 	}
 	if e.cfg.Join != nil {
-		e.joinTick = time.NewTicker(e.cfg.Join.Retry)
+		e.joinTick = e.clock.NewTicker(e.cfg.Join.Retry)
+		e.joinStart = e.clock.Now()
 	}
 	go e.run()
 	return nil
@@ -327,12 +345,12 @@ func (e *Engine) run() {
 	fdEv := e.cfg.Detector.Events()
 	var stabC <-chan time.Time
 	if e.stabTick != nil {
-		stabC = e.stabTick.C
+		stabC = e.stabTick.C()
 		defer e.stabTick.Stop()
 	}
 	var joinC <-chan time.Time
 	if e.joinTick != nil {
-		joinC = e.joinTick.C
+		joinC = e.joinTick.C()
 		defer e.joinTick.Stop()
 		e.sendJoinReq()
 	}
@@ -384,7 +402,17 @@ func (e *Engine) run() {
 // sendJoinReq (re)transmits the admission request to every contact.
 func (e *Engine) sendJoinReq() {
 	for _, c := range e.cfg.Join.Contacts {
-		_ = e.cfg.Endpoint.Send(c, e.cfg.Group, transport.Ctl, JoinReqMsg{})
+		e.send(c, transport.Ctl, JoinReqMsg{})
+	}
+}
+
+// send is the engine's best-effort transmit: in the crash-stop model a
+// failed send is the peer's problem (the detector will notice a dead one),
+// but the failure is counted and logged instead of vanishing into `_ =`.
+func (e *Engine) send(p ident.PID, ch transport.Channel, msg any) {
+	if err := e.cfg.Endpoint.Send(p, e.cfg.Group, ch, msg); err != nil {
+		e.m.sendErrors.Inc()
+		e.ev.SendError(string(p), err)
 	}
 }
 
@@ -397,6 +425,12 @@ func (e *Engine) syncSnapshots() {
 	if st := e.toDeliver.Stats(); st.MaxLen > e.stats.ToDeliverMax {
 		e.stats.ToDeliverMax = st.MaxLen
 	}
+	e.m.view.Set(int64(e.cv.ID))
+	e.m.members.Set(int64(len(e.cv.Members)))
+	e.m.qLen.Set(int64(e.stats.ToDeliverLen))
+	e.m.qMax.Max(int64(e.stats.ToDeliverMax))
+	e.m.histLen.Set(int64(e.stats.HistoryLen))
+	e.m.purgedQ.Set(int64(e.stats.PurgedToDeliver))
 	e.mu.Lock()
 	e.curView = e.cv.Clone()
 	e.curStats = e.stats

@@ -125,7 +125,8 @@ func (f *flowState) freed(p ident.PID, e *Engine) {
 		n := f.owed[p]
 		f.owed[p] = 0
 		f.granted[p] += n
-		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, CreditMsg{View: e.cv.ID, Credits: n})
+		e.m.creditFlushes.Inc()
+		e.send(p, transport.Ctl, CreditMsg{View: e.cv.ID, Credits: n})
 	}
 }
 
@@ -150,7 +151,7 @@ func (e *Engine) drainOutgoing(p ident.PID) {
 			return // out of credits: the head stays parked
 		}
 		out.PopHead()
-		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Data, DataMsg{
+		e.send(p, transport.Data, DataMsg{
 			View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload,
 		})
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fd"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/obsolete"
 	"repro/internal/transport"
 )
@@ -35,6 +36,7 @@ import (
 // to group granularity.
 type Node struct {
 	cfg NodeConfig
+	obs *obs.Obs      // node-labelled bundle; groups derive from it
 	hb  *fd.Heartbeat // non-nil when the node owns its detector
 	det fd.Detector
 	fan *fd.Fanout
@@ -64,6 +66,12 @@ type NodeConfig struct {
 	// Heartbeat tunes the node-owned heartbeat detector (ignored when
 	// Detector is set).
 	Heartbeat fd.HeartbeatOptions
+	// Obs supplies the clock, metrics registry and structured-event sink
+	// shared by everything the node runs: the heartbeat detector records
+	// under it directly, and every hosted group's engine gets a derived
+	// bundle labelled with the group id (so one registry snapshot separates
+	// the groups). Nil means the wall clock with no instrumentation.
+	Obs *obs.Obs
 }
 
 // GroupConfig configures one hosted group; it is Config minus the fields
@@ -127,12 +135,23 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	n := &Node{
 		cfg:        cfg,
+		obs:        cfg.Obs,
 		det:        cfg.Detector,
 		groups:     make(map[ident.GroupID]*Group),
 		groupPeers: make(map[ident.GroupID]ident.PIDs),
 	}
+	// Endpoints that can mirror their drop counters onto an obs registry
+	// (both in-tree transports) get the node's bundle; transports without
+	// the hook are left alone.
+	if in, ok := cfg.Endpoint.(interface{ Instrument(*obs.Obs) }); ok {
+		in.Instrument(n.obs)
+	}
 	if n.det == nil {
-		n.hb = fd.NewHeartbeat(cfg.Endpoint, nil, cfg.Heartbeat)
+		hbo := cfg.Heartbeat
+		if hbo.Obs == nil {
+			hbo.Obs = n.obs
+		}
+		n.hb = fd.NewHeartbeat(cfg.Endpoint, nil, hbo)
 		n.hb.Start()
 		n.det = n.hb
 	}
@@ -145,6 +164,15 @@ func (n *Node) Self() ident.PID { return n.cfg.Self }
 
 // Detector returns the shared failure detector.
 func (n *Node) Detector() fd.Detector { return n.det }
+
+// Obs returns the node's observability bundle (nil when none was given).
+func (n *Node) Obs() *obs.Obs { return n.obs }
+
+// Metrics snapshots every instrument the node and its groups have
+// recorded. With no registry attached the snapshot is empty, never nil.
+func (n *Node) Metrics() obs.Snapshot {
+	return n.obs.Registry().Snapshot()
+}
 
 // Groups returns the identifiers of the hosted groups, sorted.
 func (n *Node) Groups() []ident.GroupID {
@@ -202,6 +230,7 @@ func (n *Node) host(id ident.GroupID, gc GroupConfig, join *JoinSpec) (*Group, e
 		Window:            gc.Window,
 		AutoEvict:         gc.AutoEvict,
 		StabilityInterval: gc.StabilityInterval,
+		Obs:               n.obs.With(obs.L("group", fmt.Sprint(id))),
 	})
 	if err != nil {
 		tap.Stop()

@@ -1,15 +1,32 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"log/slog"
 	"sort"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/fd"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/obsolete"
 	"repro/internal/queue"
 	"repro/internal/transport"
 )
+
+// pidStrings renders a PID set for an event attribute.
+func pidStrings(ps ident.PIDs) []string {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}
 
 // ---- t2: multicast -------------------------------------------------------
 
@@ -17,8 +34,7 @@ func (e *Engine) onMulticastReq(req *request) {
 	// Park while a join is still in flight: the first view (and with it
 	// membership and flow windows) arrives with the state transfer.
 	if e.joining {
-		e.stats.MulticastParks++
-		e.multicastQ = append(e.multicastQ, req)
+		e.park(req)
 		return
 	}
 	if err := e.multicastPrecheck(req); err != nil {
@@ -28,11 +44,22 @@ func (e *Engine) onMulticastReq(req *request) {
 	// Park while the group is blocked or buffers lack room; install,
 	// credit arrivals and deliveries retry the queue head.
 	if e.blocked || !e.canCommit(req) {
-		e.stats.MulticastParks++
-		e.multicastQ = append(e.multicastQ, req)
+		e.park(req)
 		return
 	}
 	e.commitMulticast(req)
+}
+
+// park appends a multicast to the flow-control wait queue, stamping the
+// stall start for the park-duration histogram.
+func (e *Engine) park(req *request) {
+	e.stats.MulticastParks++
+	e.m.parks.Inc()
+	if req.parkedAt.IsZero() && (e.m.parkDur != nil || e.ev != nil) {
+		req.parkedAt = e.clock.Now()
+		e.ev.FlowBlocked(uint64(req.meta.Seq))
+	}
+	e.multicastQ = append(e.multicastQ, req)
 }
 
 func (e *Engine) multicastPrecheck(req *request) error {
@@ -89,6 +116,9 @@ func (e *Engine) dataItem(req *request) queue.Item {
 func (e *Engine) commitMulticast(req *request) {
 	it := e.dataItem(req)
 	dm := DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload}
+	if e.m.deliverLatency != nil {
+		it.At = e.clock.Now()
+	}
 
 	e.lastSent = it.Meta.Seq
 	e.purgeToDeliver(it)
@@ -100,6 +130,13 @@ func (e *Engine) commitMulticast(req *request) {
 		e.sendData(p, dm)
 	}
 	e.stats.Multicast++
+	e.m.multicast.Inc()
+	if !req.parkedAt.IsZero() {
+		stalled := e.clock.Since(req.parkedAt)
+		e.m.parkDur.ObserveDuration(stalled)
+		e.ev.FlowUnblocked(uint64(req.meta.Seq), stalled)
+		req.parkedAt = time.Time{}
+	}
 	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
 	req.mcC <- mcResult{view: e.cv.ID}
 	e.serveDeliveries()
@@ -109,12 +146,14 @@ func (e *Engine) commitMulticast(req *request) {
 // when p is out of window credits.
 func (e *Engine) sendData(p ident.PID, dm DataMsg) {
 	if e.flow.takeCredit(p) {
-		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Data, dm)
+		e.send(p, transport.Data, dm)
 		return
 	}
 	out := e.flow.pending(p)
 	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
-	e.stats.PurgedOutgoing += uint64(out.PurgeForN(it))
+	n := uint64(out.PurgeForN(it))
+	e.stats.PurgedOutgoing += n
+	e.m.purgedOutgoing.Add(n)
 	out.ForceAppend(it) // room guaranteed by canCommit
 }
 
@@ -122,11 +161,20 @@ func (e *Engine) sendData(p ident.PID, dm DataMsg) {
 
 func (e *Engine) onData(env transport.Envelope) {
 	dm, ok := env.Msg.(DataMsg)
-	if !ok || e.expelled {
+	if !ok {
+		// A data-channel envelope that is not a DataMsg: miscoded or
+		// hostile peer. This was an entirely silent discard before.
+		e.m.dropBadType.Inc()
+		e.ev.Drop(obs.DropBadType, slog.String("from", string(env.From)))
+		return
+	}
+	if e.expelled {
+		e.m.dropExpelled.Inc()
 		return
 	}
 	if dm.View != e.cv.ID {
 		e.stats.DroppedStale++
+		e.m.dropStale.Inc()
 		return
 	}
 	if dm.Meta.Sender == e.cfg.Self {
@@ -144,6 +192,7 @@ func (e *Engine) onData(env transport.Envelope) {
 			e.recvMax[dm.Meta.Sender] = dm.Meta.Seq
 		}
 		e.stats.DroppedCovered++
+		e.m.dropCovered.Inc()
 		e.flow.freed(dm.Meta.Sender, e)
 		return
 	}
@@ -159,6 +208,9 @@ func (e *Engine) onData(env transport.Envelope) {
 }
 
 func (e *Engine) acceptData(it queue.Item) {
+	if e.m.deliverLatency != nil {
+		it.At = e.clock.Now()
+	}
 	e.recvMax[it.Meta.Sender] = it.Meta.Seq
 	e.toDeliver.ForceAppend(it)
 	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
@@ -175,6 +227,7 @@ func (e *Engine) retryStalled() {
 	e.stalled = nil
 	if dm.View != e.cv.ID {
 		e.stats.DroppedStale++
+		e.m.dropStale.Inc()
 		return
 	}
 	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
@@ -251,6 +304,10 @@ func (e *Engine) deliverItem(it queue.Item) Delivery {
 		return Delivery{Kind: kind, View: v.ID, NewView: v}
 	default:
 		e.stats.Delivered++
+		e.m.delivered.Inc()
+		if !it.At.IsZero() {
+			e.m.deliverLatency.ObserveDuration(e.clock.Since(it.At))
+		}
 		if it.View == uint64(e.cv.ID) {
 			// Keep it in the per-view history for pred sets; purge the
 			// history with the same relation so it holds live items only.
@@ -309,7 +366,7 @@ func (e *Engine) triggerViewChange(join, leave ident.PIDs) error {
 	}
 	init := InitMsg{View: e.cv.ID, Leave: leave, Join: join}
 	for _, p := range e.cv.Members {
-		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, init)
+		e.send(p, transport.Ctl, init)
 	}
 	return nil
 }
@@ -330,6 +387,7 @@ func (e *Engine) onSuspicion(ev fd.Event) {
 
 func (e *Engine) onCtl(env transport.Envelope) {
 	if e.expelled {
+		e.m.dropExpelled.Inc()
 		return
 	}
 	switch m := env.Msg.(type) {
@@ -349,6 +407,9 @@ func (e *Engine) onCtl(env transport.Envelope) {
 		// stale grant would double-count the slots it stood for.
 		if m.View != e.cv.ID {
 			e.stats.CreditsStaleView++
+			e.m.dropStaleCredit.Inc()
+			e.ev.Drop(obs.DropStaleCredit, slog.String("from", string(env.From)),
+				slog.Uint64("view", uint64(m.View)))
 			return
 		}
 		e.flow.credit(env.From, m.Credits)
@@ -360,6 +421,11 @@ func (e *Engine) onCtl(env transport.Envelope) {
 		e.onJoinReq(env.From)
 	case StateMsg:
 		e.onJoinState(env.From, m)
+	default:
+		// A control envelope of no known kind fell through every case —
+		// before, it vanished without a trace.
+		e.m.dropUnknownCtl.Inc()
+		e.ev.Drop(obs.DropUnknownCtl, slog.String("from", string(env.From)))
 	}
 }
 
@@ -382,6 +448,9 @@ func (e *Engine) deferFuture(env transport.Envelope, v ident.ViewID) bool {
 		e.deferredCtl = append(e.deferredCtl, env)
 	} else {
 		e.stats.CtlDeferredDropped++
+		e.m.dropDefer.Inc()
+		e.ev.Drop(obs.DropDeferOverflow, slog.String("from", string(env.From)),
+			slog.Uint64("view", uint64(v)))
 	}
 	return true
 }
@@ -411,10 +480,12 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 		// Forward so every correct process initiates even if the
 		// initiator crashed mid-dissemination.
 		for _, p := range e.cv.Members {
-			_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, m)
+			e.send(p, transport.Ctl, m)
 		}
 	}
 	e.blocked = true
+	e.blockStart = e.clock.Now()
+	e.m.blockedG.Set(1)
 	e.stalled = nil // unaccepted arrival: covered by its sender's pred set
 	e.leave = ident.NewPIDs(m.Leave...).Intersect(e.cv.Members)
 	// Current members need no admission and a process asked to leave is
@@ -423,7 +494,7 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 
 	pred := PredMsg{View: e.cv.ID, Msgs: e.localPred()}
 	for _, p := range e.cv.Members {
-		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, pred)
+		e.send(p, transport.Ctl, pred)
 	}
 
 	// Watch for the decision even if we never reach the propose condition
@@ -540,7 +611,16 @@ func (e *Engine) pushDecision(id ident.ViewID, raw []byte, err error) {
 // onDecision installs the agreed view (the tail of t7).
 func (e *Engine) onDecision(dec decision) {
 	if dec.err != nil {
-		return // engine stopping, or a decode failure already surfaced
+		// A failed outcome where a view decision was expected used to be
+		// invisible. Cancellation is the engine's own shutdown; anything
+		// else (a decode failure, a stopped consensus service) is counted
+		// and logged — the group will stay blocked until another decide
+		// flood reaches it, and an operator should be able to see why.
+		if !errors.Is(dec.err, context.Canceled) {
+			e.m.decisionFails.Inc()
+			e.ev.DecisionFailed(uint64(dec.forView), dec.err)
+		}
+		return
 	}
 	if !e.blocked || dec.forView != e.cv.ID+1 {
 		return // duplicate (Await and Propose both report)
@@ -551,6 +631,21 @@ func (e *Engine) onDecision(dec decision) {
 func (e *Engine) install(val consensusValue) {
 	e.stats.ViewsInstalled++
 	e.stats.LastFlushLen = len(val.Pred)
+	e.m.viewsInstalled.Inc()
+	e.m.flushLast.Set(int64(len(val.Pred)))
+	var blockedFor time.Duration
+	if !e.blockStart.IsZero() {
+		blockedFor = e.clock.Since(e.blockStart)
+		e.m.viewChange.ObserveDuration(blockedFor)
+		e.blockStart = time.Time{}
+	}
+	e.m.blockedG.Set(0)
+	if e.ev != nil {
+		e.ev.ViewInstall(uint64(val.Next.ID), len(val.Next.Members), len(val.Pred), blockedFor)
+		e.ev.MemberChange(uint64(val.Next.ID),
+			pidStrings(val.Next.Members.Without(e.cv.Members)),
+			pidStrings(e.cv.Members.Without(val.Next.Members)))
+	}
 
 	// Adopt flush messages we have not seen. Messages at or below recvMax
 	// were genuinely received before (reception is FIFO per sender), so
@@ -574,6 +669,7 @@ func (e *Engine) install(val consensusValue) {
 		added++
 	}
 	e.stats.FlushAdded += uint64(added)
+	e.m.flushAdded.Add(uint64(added))
 
 	// The view marker follows the flush in the delivery queue.
 	e.toDeliver.ForceAppend(queue.Item{Kind: queue.Control, View: uint64(val.Next.ID), Ctl: val.Next.Clone()})
@@ -587,6 +683,7 @@ func (e *Engine) install(val consensusValue) {
 
 	if !val.Next.Includes(e.cfg.Self) {
 		e.expelled = true
+		e.ev.Expelled(uint64(val.Next.ID))
 		for _, m := range e.multicastQ {
 			m.mcC <- mcResult{err: ErrExpelled}
 		}
@@ -707,10 +804,12 @@ func (e *Engine) buildJoinState(next View) StateMsg {
 }
 
 func (e *Engine) sendJoinState(to ident.PID, st StateMsg, size int) {
-	_ = e.cfg.Endpoint.Send(to, e.cfg.Group, transport.Ctl, st)
+	e.send(to, transport.Ctl, st)
 	e.stats.JoinStatesSent++
 	e.stats.JoinBacklogSent += uint64(len(st.Backlog))
 	e.stats.JoinBytesSent += uint64(size)
+	e.m.joinBytesSent.Add(uint64(size))
+	e.ev.StateTransfer("sent", string(to), uint64(st.View), len(st.Backlog), size)
 }
 
 // onJoinState installs the first view of a joining engine from the state
@@ -734,6 +833,15 @@ func (e *Engine) onJoinState(from ident.PID, m StateMsg) {
 	}
 	e.joining = false
 	e.stats.ViewsInstalled++
+	e.m.viewsInstalled.Inc()
+	var took time.Duration
+	if !e.joinStart.IsZero() {
+		took = e.clock.Since(e.joinStart)
+		e.m.joinDur.ObserveDuration(took)
+	}
+	size := stateMsgBytes(m)
+	e.ev.StateTransfer("recv", string(from), uint64(m.View), len(m.Backlog), size)
+	e.ev.JoinComplete(uint64(m.View), len(m.Members), took)
 
 	// Adopt the sponsor's reception frontiers. Our own stream's frontier
 	// continues the sequence numbering if this PID multicast in an
@@ -763,7 +871,8 @@ func (e *Engine) onJoinState(from ident.PID, m StateMsg) {
 	e.cv = View{ID: m.View, Members: members}
 	e.toDeliver.ForceAppend(queue.Item{Kind: queue.Control, View: uint64(m.View), Ctl: e.cv.Clone()})
 	e.stats.JoinBacklogRecv = uint64(len(m.Backlog))
-	e.stats.JoinBytesRecv = uint64(stateMsgBytes(m))
+	e.stats.JoinBytesRecv = uint64(size)
+	e.m.joinBytesRecv.Add(uint64(size))
 
 	e.flow.reset(e.cv.Members)
 	e.resetStabilityForView()

@@ -57,7 +57,7 @@ func (e *Engine) gossipStability() {
 			e.onStable(p, m)
 			continue
 		}
-		_ = e.cfg.Endpoint.Send(p, e.cfg.Group, transport.Ctl, m)
+		e.send(p, transport.Ctl, m)
 	}
 }
 
@@ -117,6 +117,7 @@ func (e *Engine) pruneStable() {
 		return it.Kind == queue.Data && e.isStable(it.Meta.Sender, it.Meta.Seq)
 	})
 	e.stats.StablePruned += uint64(removed)
+	e.m.stablePruned.Add(uint64(removed))
 }
 
 // isStable reports whether message (s, seq) is known received everywhere.

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallClockTicks(t *testing.T) {
+	var c Clock = Wall{}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall ticker never fired")
+	}
+	if c.Since(c.Now()) > time.Second {
+		t.Fatal("wall Since is broken")
+	}
+}
+
+func TestFakeClockAdvanceFiresTickersInOrder(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	fast := f.NewTicker(10 * time.Millisecond)
+	slow := f.NewTicker(25 * time.Millisecond)
+
+	// Nothing fires without an advance.
+	select {
+	case <-fast.C():
+		t.Fatal("ticker fired with a frozen clock")
+	default:
+	}
+
+	// Advance 10ms: only the fast ticker is due, stamped at +10ms.
+	f.Advance(10 * time.Millisecond)
+	select {
+	case ts := <-fast.C():
+		if got := ts.Sub(start); got != 10*time.Millisecond {
+			t.Fatalf("fast tick at +%v, want +10ms", got)
+		}
+	default:
+		t.Fatal("fast ticker did not fire at +10ms")
+	}
+	select {
+	case <-slow.C():
+		t.Fatal("slow ticker fired before its period")
+	default:
+	}
+
+	// Advance to +25ms: fast fires at +20ms, slow at +25ms.
+	f.Advance(15 * time.Millisecond)
+	if ts := <-fast.C(); ts.Sub(start) != 20*time.Millisecond {
+		t.Fatalf("fast tick at +%v, want +20ms", ts.Sub(start))
+	}
+	if ts := <-slow.C(); ts.Sub(start) != 25*time.Millisecond {
+		t.Fatalf("slow tick at +%v, want +25ms", ts.Sub(start))
+	}
+	if got := f.Now().Sub(start); got != 25*time.Millisecond {
+		t.Fatalf("clock at +%v after advances, want +25ms", got)
+	}
+}
+
+func TestFakeClockDropsTicksLikeTimeTicker(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Millisecond)
+	// 10 periods with nobody draining: the 1-slot buffer keeps only the
+	// earliest undelivered tick, exactly like time.Ticker.
+	f.Advance(10 * time.Millisecond)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("drained %d buffered ticks, want 1", n)
+	}
+}
+
+func TestFakeClockStoppedTickerNeverFires(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Millisecond)
+	tk.Stop()
+	f.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestFakeClockSetAndSince(t *testing.T) {
+	start := time.Unix(50, 0)
+	f := NewFake(start)
+	f.Set(start.Add(3 * time.Second))
+	if got := f.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+func TestNilObsFallsBackToWallClock(t *testing.T) {
+	var o *Obs
+	if _, ok := o.Clock().(Wall); !ok {
+		t.Fatalf("nil Obs clock = %T, want Wall", o.Clock())
+	}
+	if o.Registry() != nil || o.Events() != nil || o.With(L("a", "b")) != nil {
+		t.Fatal("nil Obs must stay nil through derivation")
+	}
+	o.Counter("x").Inc() // must not panic
+	o.Gauge("x").Set(1)
+	o.Histogram("x", DurationBuckets).Observe(1)
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// captureEvents returns an Events sink writing JSON lines into buf.
+func captureEvents(buf *bytes.Buffer) *Events {
+	h := slog.NewJSONHandler(buf, &slog.HandlerOptions{Level: slog.LevelDebug})
+	return NewEvents(slog.New(h))
+}
+
+func TestNilEventsAreNoOps(t *testing.T) {
+	var e *Events
+	e.ViewInstall(1, 3, 0, time.Second)
+	e.Suspicion("p1", true)
+	e.Drop(DropCovered)
+	e.SendError("p1", errors.New("boom"))
+	if d := e.With(slog.String("k", "v")); d != nil {
+		t.Fatal("nil Events must derive to nil")
+	}
+}
+
+func TestEventsEmitStructuredRecords(t *testing.T) {
+	var buf bytes.Buffer
+	e := captureEvents(&buf).With(slog.String("node", "p0"), slog.String("group", "2"))
+
+	e.ViewInstall(3, 4, 2, 150*time.Millisecond)
+	e.MemberChange(3, []string{"p9"}, []string{"p1"})
+	e.Suspicion("p1", true)
+	e.Drop(DropStaleView, slog.String("from", "p1"))
+	e.StateTransfer("sent", "p9", 3, 16, 278)
+	e.DecisionFailed(4, errors.New("decode: short buffer"))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("emitted %d records, want 6:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["msg"] != "view_install" || rec["node"] != "p0" || rec["group"] != "2" {
+		t.Fatalf("view_install record missing attrs: %v", rec)
+	}
+	if rec["view"] != float64(3) || rec["members"] != float64(4) || rec["flush"] != float64(2) {
+		t.Fatalf("view_install fields wrong: %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["msg"] != "drop" || rec["reason"] != string(DropStaleView) || rec["from"] != "p1" {
+		t.Fatalf("drop record wrong: %v", rec)
+	}
+}
+
+func TestMemberChangeSkipsEmptyChanges(t *testing.T) {
+	var buf bytes.Buffer
+	e := captureEvents(&buf)
+	e.MemberChange(2, nil, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("empty member change emitted: %s", buf.String())
+	}
+}

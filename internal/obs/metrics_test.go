@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 5})
+	// Upper edges are inclusive: v == bound lands in that bound's bucket.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0.5, 0}, {1, 0}, // at the first edge: bucket 0
+		{1.0001, 1}, {2, 1}, // at the second edge: bucket 1
+		{3, 2}, {5, 2}, // at the last edge: bucket 2
+		{5.0001, 3}, {1e9, 3}, // overflow bucket
+		{-1, 0}, // below every edge: first bucket
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := r.Snapshot().Histograms["h"]
+	want := make([]uint64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if snap.Counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], want[i], snap.Counts)
+		}
+	}
+	if snap.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(cases))
+	}
+	var sum float64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if math.Abs(snap.Sum-sum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", snap.Sum, sum)
+	}
+}
+
+func TestHistogramDurationAndMean(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", DurationBuckets)
+	h.ObserveDuration(100 * time.Millisecond)
+	h.ObserveDuration(300 * time.Millisecond)
+	snap := r.Snapshot().Histograms["d"]
+	if got := snap.Mean(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("mean = %v, want 0.2", got)
+	}
+}
+
+func TestRegistryLabelsAndIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("msgs", L("group", "1"), L("node", "p0"))
+	// Same name, same labels in a different order: the same instrument.
+	b := r.Counter("msgs", L("node", "p0"), L("group", "1"))
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+	c := r.Counter("msgs", L("group", "2"), L("node", "p0"))
+	if a == c {
+		t.Fatal("different labels shared an instrument")
+	}
+	a.Add(3)
+	c.Inc()
+	snap := r.Snapshot()
+	if snap.Counters["msgs{group=1,node=p0}"] != 3 {
+		t.Fatalf("unexpected snapshot %v", snap.Counters)
+	}
+	if got := snap.Sum("msgs"); got != 4 {
+		t.Fatalf("Sum(msgs) = %d, want 4", got)
+	}
+	if got := snap.Sum("msg"); got != 0 {
+		t.Fatalf("Sum(msg) must not prefix-match msgs, got %d", got)
+	}
+}
+
+func TestObsWithDerivesLabels(t *testing.T) {
+	r := NewRegistry()
+	root := New(Wall{}, r, nil)
+	g1 := root.With(L("group", "1"))
+	g1.Counter("delivered").Add(7)
+	g1.GaugeL("suspected", L("peer", "p1")).Set(1)
+	snap := r.Snapshot()
+	if snap.Counters["delivered{group=1}"] != 7 {
+		t.Fatalf("unexpected counters %v", snap.Counters)
+	}
+	if snap.Gauges["suspected{group=1,peer=p1}"] != 1 {
+		t.Fatalf("unexpected gauges %v", snap.Gauges)
+	}
+	// The parent bundle is unaffected by the derivation.
+	root.Counter("delivered").Inc()
+	if got := r.Snapshot().Counters["delivered"]; got != 1 {
+		t.Fatalf("parent counter = %d, want 1", got)
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hwm")
+	g.Max(5)
+	g.Max(3)
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("hwm = %d, want 9", got)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(-4)
+	r.Histogram("h", CountBuckets).Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["c"] != 2 || s.Gauges["g"] != -4 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+}
+
+// TestMetricsRaceHammer updates every instrument kind from many goroutines
+// while snapshots are taken concurrently; under -race this proves the
+// lock-free instruments and snapshot copying are torn-read free.
+func TestMetricsRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers  = 8
+		perLoop  = 1000
+		snappers = 3
+	)
+	var writeWG, snapWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			// Half the writers resolve instruments per iteration (exercising
+			// registry lookup under contention), half hold them.
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_depth")
+			h := r.Histogram("hammer_lat", DurationBuckets)
+			for i := 0; i < perLoop; i++ {
+				if w%2 == 0 {
+					c = r.Counter("hammer_total")
+					g = r.Gauge("hammer_depth", L("w", fmt.Sprint(w)))
+					h = r.Histogram("hammer_lat", DurationBuckets)
+				}
+				c.Inc()
+				g.Add(1)
+				g.Max(int64(i))
+				h.Observe(float64(i) * 1e-6)
+			}
+		}(w)
+	}
+	for s := 0; s < snappers; s++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				h := snap.Histograms["hammer_lat"]
+				var bucketSum uint64
+				for _, c := range h.Counts {
+					bucketSum += c
+				}
+				// Count and the bucket sum race benignly (two separate
+				// atomics), but bucket counts must never exceed Count+writers
+				// in-flight increments.
+				if bucketSum > h.Count+writers {
+					panic(fmt.Sprintf("bucket sum %d far ahead of count %d", bucketSum, h.Count))
+				}
+			}
+		}()
+	}
+	// Writers finish, then stop the snappers.
+	writeWG.Wait()
+	close(stop)
+	snapWG.Wait()
+	final := r.Snapshot()
+	if got := final.Counters["hammer_total"]; got != writers*perLoop {
+		t.Fatalf("hammer_total = %d, want %d", got, writers*perLoop)
+	}
+	h := final.Histograms["hammer_lat"]
+	if h.Count != writers*perLoop {
+		t.Fatalf("histogram count = %d, want %d", h.Count, writers*perLoop)
+	}
+	var bucketSum uint64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Fatalf("bucket sum %d != count %d after quiescence", bucketSum, h.Count)
+	}
+}

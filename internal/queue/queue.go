@@ -31,6 +31,7 @@ package queue
 import (
 	"bytes"
 	"errors"
+	"time"
 
 	"repro/internal/ident"
 	"repro/internal/obsolete"
@@ -62,6 +63,10 @@ type Item struct {
 	Payload []byte
 	// Ctl carries the content of a control entry (e.g. the new view).
 	Ctl any
+	// At is the local enqueue timestamp, stamped by the engine only when a
+	// delivery-latency histogram is attached (zero otherwise, and zero for
+	// entries adopted from flush sets or state transfers).
+	At time.Time
 }
 
 // ErrFull is returned by Append when the queue is at capacity and no

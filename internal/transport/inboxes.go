@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 )
 
 // inboxSet is the (GroupID, Channel)-keyed inbox registry shared by both
@@ -19,6 +20,13 @@ type inboxSet struct {
 
 	dropGroup   atomic.Uint64
 	dropChannel atomic.Uint64
+
+	// Optional obs mirrors of the two drop counters, installed by
+	// instrument. Guarded by mu because instrumentation can arrive while
+	// peers are already depositing (NewNode wires the endpoint after
+	// other nodes' heartbeats may have started sending to it).
+	dropGroupC   *obs.Counter
+	dropChannelC *obs.Counter
 }
 
 func newInboxSet() *inboxSet {
@@ -39,6 +47,30 @@ func (s *inboxSet) register(g ident.GroupID) {
 			s.m[key] = newUBQ()
 		}
 	}
+}
+
+// instrument mirrors the drop counters onto ob as
+// transport_dropped_total{reason=...}. A nil ob is a no-op rather than
+// an overwrite, so a node-level Instrument call without a bundle cannot
+// wipe counters installed at construction.
+func (s *inboxSet) instrument(ob *obs.Obs) {
+	if ob == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropGroupC = ob.CounterL("transport_dropped_total", obs.L("reason", string(obs.DropUnknownGroup)))
+	s.dropChannelC = ob.CounterL("transport_dropped_total", obs.L("reason", string(obs.DropUnknownChannel)))
+}
+
+// dropUnknownGroup counts one envelope discarded because its group can
+// never be hosted here (used by the TCP read loop for out-of-range ids).
+func (s *inboxSet) dropUnknownGroup() {
+	s.dropGroup.Add(1)
+	s.mu.Lock()
+	c := s.dropGroupC
+	s.mu.Unlock()
+	c.Inc()
 }
 
 // deregister removes and closes the inboxes of g; subsequent traffic for
@@ -86,6 +118,14 @@ func (s *inboxSet) deposit(g ident.GroupID, ch Channel, env Envelope) {
 	s.mu.Lock()
 	q, ok := s.m[groupChan{g, ch}]
 	closed := s.closed
+	var c *obs.Counter
+	if !ok {
+		if validChannel(ch) {
+			c = s.dropGroupC
+		} else {
+			c = s.dropChannelC
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		if validChannel(ch) {
@@ -93,6 +133,7 @@ func (s *inboxSet) deposit(g ident.GroupID, ch Channel, env Envelope) {
 		} else {
 			s.dropChannel.Add(1)
 		}
+		c.Inc()
 		return
 	}
 	if !closed {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 )
 
 // MemNetwork is an in-process network of fully connected, reliable, FIFO
@@ -117,6 +118,11 @@ func (e *MemEndpoint) Self() ident.PID { return e.self }
 // Drops returns the counters of envelopes discarded at deposit because
 // their (group, channel) inbox was not registered.
 func (e *MemEndpoint) Drops() DropStats { return e.boxes.drops() }
+
+// Instrument mirrors the endpoint's drop counters onto ob as
+// transport_dropped_total{reason=...}. Safe to call while traffic is
+// flowing; core.NewNode calls it with the node's obs bundle.
+func (e *MemEndpoint) Instrument(ob *obs.Obs) { e.boxes.instrument(ob) }
 
 // Register implements Endpoint: create the inboxes of every channel of g.
 func (e *MemEndpoint) Register(g ident.GroupID) { e.boxes.register(g) }

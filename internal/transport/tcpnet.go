@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/ident"
+	"repro/internal/obs"
 )
 
 // Codec selects the wire encoding of a TCPNetwork. The legacy encoding/gob
@@ -40,6 +41,13 @@ type TCPOptions struct {
 	// frames than its peers accept gets dropped as faulty.
 	// 0 means the default of 16 MiB.
 	MaxFrame int
+	// Obs, when non-nil, mirrors the wire counters onto its metrics
+	// registry (tcp_frames_sent_total, tcp_envelopes_sent_total,
+	// tcp_bytes_sent_total, tcp_frames_recv_total,
+	// tcp_envelopes_recv_total, tcp_batch_envelopes) and the inbox drop
+	// counters as transport_dropped_total{reason=...}. The atomic
+	// counters behind Stats() keep working either way.
+	Obs *obs.Obs
 }
 
 const defaultMaxFrame = 16 << 20
@@ -92,6 +100,7 @@ type TCPNetwork struct {
 	bytesSent  atomic.Uint64
 	framesRecv atomic.Uint64
 	envsRecv   atomic.Uint64
+	m          tcpMetrics
 
 	boxes *inboxSet
 
@@ -105,6 +114,33 @@ type TCPNetwork struct {
 }
 
 var _ Endpoint = (*TCPNetwork)(nil)
+
+// tcpMetrics holds the optional obs mirrors of the wire counters. The
+// nil instruments of a zero value are no-ops, so the hot paths record
+// unconditionally. Resolved once at construction (TCPOptions.Obs) —
+// never mutated afterwards, because the read/write loops access the
+// fields without synchronisation.
+type tcpMetrics struct {
+	framesSent *obs.Counter
+	envsSent   *obs.Counter
+	bytesSent  *obs.Counter
+	framesRecv *obs.Counter
+	envsRecv   *obs.Counter
+	// batch samples envelopes-per-frame on the send path: the achieved
+	// write-coalescing factor as a distribution rather than a ratio.
+	batch *obs.Histogram
+}
+
+func newTCPMetrics(ob *obs.Obs) tcpMetrics {
+	return tcpMetrics{
+		framesSent: ob.Counter("tcp_frames_sent_total"),
+		envsSent:   ob.Counter("tcp_envelopes_sent_total"),
+		bytesSent:  ob.Counter("tcp_bytes_sent_total"),
+		framesRecv: ob.Counter("tcp_frames_recv_total"),
+		envsRecv:   ob.Counter("tcp_envelopes_recv_total"),
+		batch:      ob.Histogram("tcp_batch_envelopes", obs.CountBuckets),
+	}
+}
 
 // peerConn is one outgoing connection. Send appends the encoded envelope
 // to pend and a per-connection writer goroutine drains pend into batch
@@ -167,6 +203,8 @@ func NewTCPNetworkOpts(self ident.PID, listenAddr string, peers map[ident.PID]st
 		accepted:  make(map[net.Conn]struct{}),
 		boxes:     newInboxSet(),
 	}
+	n.m = newTCPMetrics(opts.Obs)
+	n.boxes.instrument(opts.Obs)
 	n.maxBody = opts.MaxFrame - len(n.fromEnc)
 	if n.maxBody <= 0 {
 		ln.Close()
@@ -203,6 +241,14 @@ func (n *TCPNetwork) Conns() int {
 	defer n.mu.Unlock()
 	return len(n.conns)
 }
+
+// Instrument mirrors the endpoint's drop counters onto ob as
+// transport_dropped_total{reason=...}. Safe to call while traffic is
+// flowing; core.NewNode calls it with the node's obs bundle. The wire
+// counters (frames, envelopes, bytes) can only be instrumented at
+// construction via TCPOptions.Obs — the read/write loops access them
+// unsynchronised.
+func (n *TCPNetwork) Instrument(ob *obs.Obs) { n.boxes.instrument(ob) }
 
 // Stats returns a snapshot of the wire counters.
 func (n *TCPNetwork) Stats() TCPStats {
@@ -327,6 +373,10 @@ func (n *TCPNetwork) writeLoop(to ident.PID, pc *peerConn) {
 			n.framesSent.Add(1)
 			n.envsSent.Add(uint64(count))
 			n.bytesSent.Add(uint64(total))
+			n.m.framesSent.Inc()
+			n.m.envsSent.Add(uint64(count))
+			n.m.bytesSent.Add(uint64(total))
+			n.m.batch.Observe(float64(count))
 		}
 
 		// Reuse the drained buffers next round, but let one-off bursts go.
@@ -439,6 +489,7 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 			return
 		}
 		n.framesRecv.Add(1)
+		n.m.framesRecv.Inc()
 		r.Reset(frame)
 		from := ident.PID(r.String())
 		for r.Len() > 0 && r.Err() == nil {
@@ -452,11 +503,12 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 				return // mis-encoded or misaligned frame: drop the peer
 			}
 			n.envsRecv.Add(1)
+			n.m.envsRecv.Inc()
 			if gid > math.MaxUint32 {
 				// A group id beyond GroupID's range can never be hosted;
 				// count it as unknown rather than letting the uint32
 				// conversion alias it into a real group's inbox.
-				n.boxes.dropGroup.Add(1)
+				n.boxes.dropUnknownGroup()
 				continue
 			}
 			g := ident.GroupID(gid)

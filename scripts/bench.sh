@@ -40,7 +40,7 @@ cat "$RAW_FIG"
 
 echo "== micro (-benchtime $MICRO_BENCHTIME -count $MICRO_COUNT, means reported) =="
 go test -run '^$' \
-    -bench 'BenchmarkWireCodec|BenchmarkEngineMulticast|BenchmarkMultiGroup|BenchmarkViewChangeLatency|BenchmarkQueuePurgeFor|BenchmarkQueuePopHead' \
+    -bench 'BenchmarkWireCodec|BenchmarkEngineMulticast|BenchmarkMulticastInstrumented|BenchmarkMultiGroup|BenchmarkViewChangeLatency|BenchmarkQueuePurgeFor|BenchmarkQueuePopHead' \
     -benchtime "$MICRO_BENCHTIME" -count "$MICRO_COUNT" -benchmem . > "$RAW_MICRO" 2>&1 || {
     cat "$RAW_MICRO" >&2
     exit 1
