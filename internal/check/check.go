@@ -214,68 +214,14 @@ func (r *Recorder) checkViewAgreement() []error {
 
 // ---- Coverage (reflexive-transitive closure) --------------------------------
 
-// coverage answers m ⊑* n queries under the closure of the encoded
-// relation over all multicast messages, computed per sender (all provided
-// encodings are per-sender; a custom cross-sender relation is handled by
-// the direct test plus single-sender chains).
-type coverage struct {
-	rel obsolete.Relation
-	// bySender[s] is s's multicast stream in seq order.
-	bySender map[ident.PID][]obsolete.Msg
-	// reach[id] is the set of message ids that transitively cover id.
-	reach map[obsolete.MsgID]map[obsolete.MsgID]bool
-}
-
-func (r *Recorder) newCoverage() *coverage {
-	c := &coverage{
-		rel:      r.rel,
-		bySender: make(map[ident.PID][]obsolete.Msg),
-		reach:    make(map[obsolete.MsgID]map[obsolete.MsgID]bool),
-	}
+// newCoverage builds the shared coverage closure (closure.go) over every
+// multicast message. Callers hold r.mu.
+func (r *Recorder) newCoverage() *Closure {
+	msgs := make([]obsolete.Msg, 0, len(r.multicast))
 	for _, mc := range r.multicast {
-		c.bySender[mc.meta.Sender] = append(c.bySender[mc.meta.Sender], mc.meta)
+		msgs = append(msgs, mc.meta)
 	}
-	for s := range c.bySender {
-		msgs := c.bySender[s]
-		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
-		c.bySender[s] = msgs
-		// Dynamic programming back-to-front: reach(i) = ∪ over direct
-		// successors j≻i of {j} ∪ reach(j).
-		for i := len(msgs) - 1; i >= 0; i-- {
-			set := make(map[obsolete.MsgID]bool)
-			for j := i + 1; j < len(msgs); j++ {
-				if c.rel.Obsoletes(msgs[i], msgs[j]) {
-					set[msgs[j].ID()] = true
-					for id := range c.reach[msgs[j].ID()] {
-						set[id] = true
-					}
-				}
-			}
-			c.reach[msgs[i].ID()] = set
-		}
-	}
-	return c
-}
-
-// coveredBy reports m ⊑* n.
-func (c *coverage) coveredBy(m, n obsolete.MsgID) bool {
-	if m == n {
-		return true
-	}
-	return c.reach[m][n]
-}
-
-// coveredByAny reports whether some id in set covers m.
-func (c *coverage) coveredByAny(m obsolete.MsgID, set map[obsolete.MsgID]bool) bool {
-	if set[m] {
-		return true
-	}
-	for n := range c.reach[m] {
-		if set[n] {
-			return true
-		}
-	}
-	return false
+	return NewClosure(r.rel, msgs)
 }
 
 // ---- SVS ---------------------------------------------------------------------
@@ -315,7 +261,7 @@ func deliveredInViewBefore(log []Event, v ident.ViewID, bound int) map[obsolete.
 
 // checkSVS verifies the Semantic View Synchrony property for every pair of
 // processes and every pair of consecutive views both installed.
-func (r *Recorder) checkSVS(cov *coverage) []error {
+func (r *Recorder) checkSVS(cov *Closure) []error {
 	var errs []error
 	type pinfo struct {
 		p        ident.PID
@@ -358,7 +304,7 @@ func (r *Recorder) checkSVS(cov *coverage) []error {
 				// What b delivered (in view prev) before installing vid.
 				bGot := deliveredInViewBefore(b.log, prev, bi.index)
 				for m := range got {
-					if !cov.coveredByAny(m, bGot) {
+					if !cov.CoveredByAny(m, bGot) {
 						errs = append(errs, fmt.Errorf(
 							"svs: %s delivered %v in view %d but %s installed view %d without a covering delivery",
 							a.p, m, prev, b.p, vid))
@@ -374,7 +320,7 @@ func (r *Recorder) checkSVS(cov *coverage) []error {
 // if p installs v and v+1 and delivers m' (sender s, multicast in v) in v,
 // then every message m that s multicast in v before m' is covered by one
 // of p's deliveries before the installation of v+1.
-func (r *Recorder) checkFIFOSR(cov *coverage) []error {
+func (r *Recorder) checkFIFOSR(cov *Closure) []error {
 	var errs []error
 
 	// Group multicasts by (sender, view) in seq order.
@@ -416,7 +362,7 @@ func (r *Recorder) checkFIFOSR(cov *coverage) []error {
 					if m.Seq >= hi {
 						break
 					}
-					if !cov.coveredByAny(m.ID(), delivered) {
+					if !cov.CoveredByAny(m.ID(), delivered) {
 						errs = append(errs, fmt.Errorf(
 							"fifo-sr: %s delivered %s:%d in view %d but predecessor %s:%d is uncovered before view %d",
 							p, s, hi, prev, s, m.Seq, vid))

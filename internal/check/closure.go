@@ -1,0 +1,118 @@
+package check
+
+import (
+	"sort"
+
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// Closure answers m ⊑* n queries under the reflexive-transitive closure of
+// an encoded relation over a finite universe of messages — the "true"
+// application-level relation of §3.4. Encodings such as k-enumeration
+// truncate transitivity at their window; the closure restores the chains
+// the application semantics guarantee.
+//
+// The closure is exact for sender-local relations (every built-in
+// encoding): chains are computed per sender over the seq-ordered stream.
+// For relations that are not declared sender-local, cross-sender coverage
+// is additionally answered by the direct relation test (single-hop), on
+// top of the single-sender chains; chains through multiple cross-sender
+// hops are not followed.
+//
+// Closure is shared by the execution checker (Recorder) and the static
+// relation verifier (internal/relcheck), which uses it to prove that every
+// purge decision commutes with delivery.
+type Closure struct {
+	rel obsolete.Relation
+	// cross enables the direct cross-sender test; false when the relation
+	// declares sender-locality (nothing to find).
+	cross bool
+	// metas resolves ids back to full messages for direct tests.
+	metas map[obsolete.MsgID]obsolete.Msg
+	// reach[id] is the set of message ids that transitively cover id
+	// within id's own sender stream.
+	reach map[obsolete.MsgID]map[obsolete.MsgID]bool
+}
+
+// NewClosure precomputes the closure of rel over msgs. A nil rel means the
+// empty relation. Messages must carry the annotations the relation reads;
+// duplicate ids are collapsed.
+func NewClosure(rel obsolete.Relation, msgs []obsolete.Msg) *Closure {
+	if rel == nil {
+		rel = obsolete.Empty{}
+	}
+	c := &Closure{
+		rel:   rel,
+		cross: !obsolete.CapsOf(rel).SenderLocal,
+		metas: make(map[obsolete.MsgID]obsolete.Msg, len(msgs)),
+		reach: make(map[obsolete.MsgID]map[obsolete.MsgID]bool, len(msgs)),
+	}
+	bySender := make(map[ident.PID][]obsolete.Msg)
+	for _, m := range msgs {
+		if _, ok := c.metas[m.ID()]; ok {
+			continue
+		}
+		c.metas[m.ID()] = m
+		bySender[m.Sender] = append(bySender[m.Sender], m)
+	}
+	for s := range bySender {
+		stream := bySender[s]
+		sort.Slice(stream, func(i, j int) bool { return stream[i].Seq < stream[j].Seq })
+		// Dynamic programming back-to-front: reach(i) = ∪ over direct
+		// successors j≻i of {j} ∪ reach(j).
+		for i := len(stream) - 1; i >= 0; i-- {
+			set := make(map[obsolete.MsgID]bool)
+			for j := i + 1; j < len(stream); j++ {
+				if c.rel.Obsoletes(stream[i], stream[j]) {
+					set[stream[j].ID()] = true
+					for id := range c.reach[stream[j].ID()] {
+						set[id] = true
+					}
+				}
+			}
+			c.reach[stream[i].ID()] = set
+		}
+	}
+	return c
+}
+
+// Covers reports m ⊑* n.
+func (c *Closure) Covers(m, n obsolete.MsgID) bool {
+	if m == n || c.reach[m][n] {
+		return true
+	}
+	if c.cross && m.Sender != n.Sender {
+		mm, ok1 := c.metas[m]
+		nm, ok2 := c.metas[n]
+		return ok1 && ok2 && c.rel.Obsoletes(mm, nm)
+	}
+	return false
+}
+
+// CoveredByAny reports whether some id in set covers m.
+func (c *Closure) CoveredByAny(m obsolete.MsgID, set map[obsolete.MsgID]bool) bool {
+	if set[m] {
+		return true
+	}
+	for n := range c.reach[m] {
+		if set[n] {
+			return true
+		}
+	}
+	if c.cross {
+		mm, ok := c.metas[m]
+		if !ok {
+			return false
+		}
+		for n := range set {
+			if n.Sender == m.Sender {
+				continue
+			}
+			if nm, ok := c.metas[n]; ok && c.rel.Obsoletes(mm, nm) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -30,10 +30,20 @@ type Clock interface {
 	// NewTicker returns a ticker firing every d. Like time.NewTicker it
 	// panics for d <= 0.
 	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a one-shot timer firing after d. Like
+	// time.NewTimer, d <= 0 means the timer is already due and fires at
+	// the first opportunity.
+	NewTimer(d time.Duration) Timer
 }
 
 // Ticker is the clock-agnostic subset of time.Ticker the runtime uses.
 type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Timer is the clock-agnostic subset of time.Timer the runtime uses.
+type Timer interface {
 	C() <-chan time.Time
 	Stop()
 }
@@ -52,10 +62,18 @@ func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
 // NewTicker implements Clock.
 func (Wall) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
 
+// NewTimer implements Clock.
+func (Wall) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
 type wallTicker struct{ t *time.Ticker }
 
 func (w wallTicker) C() <-chan time.Time { return w.t.C }
 func (w wallTicker) Stop()               { w.t.Stop() }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop()               { w.t.Stop() }
 
 // Fake is a manually advanced clock: Now is frozen until Advance (or Set)
 // moves it, and tickers fire deterministically, in chronological order,
@@ -107,6 +125,26 @@ func (f *Fake) NewTicker(d time.Duration) Ticker {
 	return t
 }
 
+// NewTimer implements Clock. A fake timer with d <= 0 is due immediately
+// and fires during the next Advance (including Advance(0)).
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTicker{
+		clock:   f,
+		period:  0,
+		oneshot: true,
+		next:    f.now.Add(d),
+		c:       make(chan time.Time, 1),
+	}
+	if d < 0 {
+		t.next = f.now
+	}
+	f.tickers = append(f.tickers, t)
+	f.cond.Broadcast()
+	return t
+}
+
 // BlockUntil waits until at least n tickers are registered. Components
 // usually create their tickers inside the goroutines that consume them, so
 // a test must rendezvous here before its first Advance or the ticks land
@@ -142,13 +180,18 @@ func (f *Fake) Advance(d time.Duration) {
 			break
 		}
 		f.now = due.next
-		due.next = due.next.Add(due.period)
+		if due.oneshot {
+			due.stopped = true
+		} else {
+			due.next = due.next.Add(due.period)
+		}
 		select {
 		case due.c <- f.now:
 		default: // consumer is behind: drop, like time.Ticker
 		}
 	}
 	f.now = target
+	f.gc() // drop timers that fired during this advance
 	f.mu.Unlock()
 }
 
@@ -173,11 +216,14 @@ func (f *Fake) gc() {
 	f.tickers = live
 }
 
+// fakeTicker backs both Fake tickers and (with oneshot set) Fake timers:
+// a timer is a ticker that marks itself stopped after its first fire.
 type fakeTicker struct {
 	clock   *Fake
 	period  time.Duration
 	next    time.Time
 	c       chan time.Time
+	oneshot bool
 	stopped bool
 }
 

@@ -94,6 +94,88 @@ func TestFakeClockStoppedTickerNeverFires(t *testing.T) {
 	}
 }
 
+func TestWallTimerFires(t *testing.T) {
+	var c Clock = Wall{}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("wall timer never fired")
+	}
+}
+
+func TestFakeClockTimerFiresOnceAtDeadline(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	tm := f.NewTimer(20 * time.Millisecond)
+
+	f.Advance(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+
+	f.Advance(10 * time.Millisecond)
+	select {
+	case ts := <-tm.C():
+		if ts.Sub(start) != 20*time.Millisecond {
+			t.Fatalf("timer fired at +%v, want +20ms", ts.Sub(start))
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+
+	// One-shot: no refire, ever.
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("one-shot timer fired twice")
+	default:
+	}
+}
+
+func TestFakeClockTimerNonPositiveIsDue(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	zero := f.NewTimer(0)
+	neg := f.NewTimer(-time.Second)
+	f.Advance(0)
+	for _, tm := range []Timer{zero, neg} {
+		select {
+		case <-tm.C():
+		default:
+			t.Fatal("non-positive timer not due at Advance(0)")
+		}
+	}
+}
+
+func TestFakeClockStoppedTimerNeverFires(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tm := f.NewTimer(time.Millisecond)
+	tm.Stop()
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestFakeClockTimerAndTickerInterleave(t *testing.T) {
+	// A timer due between two ticks fires in chronological position.
+	start := time.Unix(0, 0)
+	f := NewFake(start)
+	tk := f.NewTicker(10 * time.Millisecond)
+	tm := f.NewTimer(15 * time.Millisecond)
+	f.Advance(20 * time.Millisecond)
+	if ts := <-tk.C(); ts.Sub(start) != 10*time.Millisecond {
+		t.Fatalf("first tick at +%v, want +10ms", ts.Sub(start))
+	}
+	if ts := <-tm.C(); ts.Sub(start) != 15*time.Millisecond {
+		t.Fatalf("timer at +%v, want +15ms", ts.Sub(start))
+	}
+}
+
 func TestFakeClockSetAndSince(t *testing.T) {
 	start := time.Unix(50, 0)
 	f := NewFake(start)

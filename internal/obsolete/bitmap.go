@@ -11,6 +11,15 @@ import "math/bits"
 // "the k-enumeration ... makes it very easy to compute the representation
 // of transitive obsolescence relations using only shift and binary or
 // operators".
+//
+// Capability audit (svs-check): Bitmap is an annotation representation,
+// not a Relation — it never answers Obsoletes and therefore declares no
+// SenderLocal/Windowed capabilities of its own and never reaches the scan
+// path. The relation interpreting these bitmaps is KEnumeration (kenum.go),
+// which declares both capabilities; they are exhaustively verified by
+// internal/relcheck against the examples/kenum.yaml model in CI, alongside
+// a deliberate window-overreach counterexample (examples/unsound-window.yaml)
+// proving the checker would catch an overreaching bitmap interpretation.
 type Bitmap []uint64
 
 // NewBitmap returns a zeroed bitmap able to hold k bits.

@@ -90,6 +90,36 @@ type Windowed interface {
 	Window() int
 }
 
+// Caps is the set of capabilities a Relation declares, resolved by CapsOf.
+// An unsound declaration silently corrupts the purge index built on it;
+// internal/relcheck (and the svs-check CLI) exhaustively verify declared
+// capabilities against a finite model of the relation.
+type Caps struct {
+	// SenderLocal reports the sender-locality guarantee of the
+	// SenderLocal interface.
+	SenderLocal bool
+	// Window is the declared purge-candidate window, 0 when unbounded or
+	// undeclared. Only meaningful together with SenderLocal (Windowed
+	// refines SenderLocal; consumers ignore a window without it).
+	Window int
+}
+
+// CapsOf inspects rel for the optional capability interfaces and returns
+// what it declares. A SenderLocal implementation reporting false counts as
+// undeclared, as does a non-positive Window.
+func CapsOf(rel Relation) Caps {
+	var c Caps
+	if sl, ok := rel.(SenderLocal); ok && sl.SenderLocal() {
+		c.SenderLocal = true
+		if w, ok := rel.(Windowed); ok {
+			if win := w.Window(); win > 0 {
+				c.Window = win
+			}
+		}
+	}
+	return c
+}
+
 // Empty is the empty obsolescence relation: no message ever obsoletes
 // another. Running the SVS protocol with Empty yields classic View
 // Synchrony (§3.2: "If no messages m, m' exist such that m ≺ m', SVS

@@ -126,14 +126,10 @@ func New(rel obsolete.Relation, capacity int) *Queue {
 		q.never = true
 		return q
 	}
-	if sl, ok := rel.(obsolete.SenderLocal); ok && sl.SenderLocal() {
+	if caps := obsolete.CapsOf(rel); caps.SenderLocal {
 		q.idx = make(map[idxKey][]idxEnt)
 		q.views = make(map[ident.PID][]uint64)
-		if w, ok := rel.(obsolete.Windowed); ok {
-			if win := w.Window(); win > 0 {
-				q.window = win
-			}
-		}
+		q.window = caps.Window
 	}
 	return q
 }

@@ -1,0 +1,159 @@
+package relcheck
+
+import (
+	"math/rand"
+
+	"repro/internal/obsolete"
+)
+
+// Interleaving enumeration for the confluence check. An interleaving is an
+// arrival order of the universe that preserves each sender's FIFO order —
+// the invariant the protocol engine maintains and the purge index relies
+// on. When the multinomial count fits under max the enumeration is
+// exhaustive (and the check is a proof over the model); otherwise the
+// checker visits the canonical orders (round-robin, per-sender
+// concatenations) plus a deterministic uniform sample, and the report says
+// coverage was sampled.
+
+// countInterleavings returns the number of FIFO-preserving interleavings,
+// capped: when the count exceeds limit it reports (limit+1, true) without
+// computing the exact (possibly overflowing) value.
+func countInterleavings(streams []Stream, limit uint64) (uint64, bool) {
+	// multinomial(n; d1..ds) built incrementally as ∏ C(prefix, di), each
+	// binomial itself built one factor at a time (multiply before divide
+	// keeps every step integral). The running value only grows along the
+	// way, so checking the limit after each step bounds it — and keeps the
+	// uint64 product far from overflow for any sane limit.
+	total := uint64(1)
+	prefix := 0
+	for _, s := range streams {
+		for i := 1; i <= len(s.Msgs); i++ {
+			prefix++
+			total = total * uint64(prefix) / uint64(i)
+			if total > limit {
+				return limit + 1, true
+			}
+		}
+	}
+	return total, false
+}
+
+// forEachInterleaving invokes fn on interleavings of streams until fn
+// returns false or the budget of max visits is spent. It returns how many
+// interleavings were visited and whether coverage was exhaustive.
+func forEachInterleaving(streams []Stream, max int, fn func([]obsolete.Msg) bool) (visited int, exhaustive bool) {
+	if max <= 0 {
+		max = DefaultMaxInterleavings
+	}
+	total := 0
+	for _, s := range streams {
+		total += len(s.Msgs)
+	}
+	if total == 0 {
+		return 0, true
+	}
+	count, exceeded := countInterleavings(streams, uint64(max))
+	if !exceeded && count <= uint64(max) {
+		v := enumerate(streams, make([]obsolete.Msg, 0, total), fn)
+		return v, true
+	}
+	return sample(streams, total, max, fn), false
+}
+
+// enumerate recursively walks every interleaving; returns visits made.
+func enumerate(streams []Stream, prefix []obsolete.Msg, fn func([]obsolete.Msg) bool) int {
+	visited := 0
+	// next[i] tracks how far into stream i the prefix has consumed.
+	next := make([]int, len(streams))
+	var rec func() bool
+	rec = func() bool {
+		done := true
+		for i := range streams {
+			if next[i] < len(streams[i].Msgs) {
+				done = false
+				prefix = append(prefix, streams[i].Msgs[next[i]])
+				next[i]++
+				cont := rec()
+				next[i]--
+				prefix = prefix[:len(prefix)-1]
+				if !cont {
+					return false
+				}
+			}
+		}
+		if done {
+			visited++
+			return fn(append([]obsolete.Msg(nil), prefix...))
+		}
+		return true
+	}
+	rec()
+	return visited
+}
+
+// sample visits the canonical orders plus a deterministic uniform sample.
+func sample(streams []Stream, total, max int, fn func([]obsolete.Msg) bool) int {
+	visited := 0
+	visit := func(seq []obsolete.Msg) bool {
+		visited++
+		return fn(seq)
+	}
+	// Round-robin across streams.
+	rr := make([]obsolete.Msg, 0, total)
+	for i := 0; ; i++ {
+		added := false
+		for _, s := range streams {
+			if i < len(s.Msgs) {
+				rr = append(rr, s.Msgs[i])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	if !visit(rr) {
+		return visited
+	}
+	// Per-sender concatenations, forward and reverse stream order.
+	for _, rev := range []bool{false, true} {
+		cat := make([]obsolete.Msg, 0, total)
+		for i := range streams {
+			s := streams[i]
+			if rev {
+				s = streams[len(streams)-1-i]
+			}
+			cat = append(cat, s.Msgs...)
+		}
+		if !visit(cat) {
+			return visited
+		}
+	}
+	// Deterministic uniform sample: pick the next message from a stream
+	// weighted by how many it has left (uniform over interleavings).
+	rng := rand.New(rand.NewSource(1))
+	for visited < max {
+		next := make([]int, len(streams))
+		seq := make([]obsolete.Msg, 0, total)
+		for len(seq) < total {
+			left := 0
+			for i, s := range streams {
+				left += len(s.Msgs) - next[i]
+			}
+			n := rng.Intn(left)
+			for i, s := range streams {
+				if rem := len(s.Msgs) - next[i]; n < rem {
+					seq = append(seq, s.Msgs[next[i]])
+					next[i]++
+					break
+				} else {
+					n -= rem
+				}
+			}
+		}
+		if !visit(seq) {
+			return visited
+		}
+	}
+	return visited
+}

@@ -1,0 +1,448 @@
+package relcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obsolete"
+)
+
+// ---- Built-in encodings ----------------------------------------------------
+
+func TestBuiltinsSound(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := Builtin(name, Domain{})
+			if err != nil {
+				t.Fatalf("Builtin(%q): %v", name, err)
+			}
+			r := Run(m)
+			if !r.OK() {
+				t.Fatalf("built-in %q unsound:\n%s", name, r.Summary())
+			}
+			for _, c := range r.Checks {
+				if c.Skipped || c.Family == "confluence" {
+					continue
+				}
+				// The empty relation relates nothing, so its chain/pair
+				// checks legitimately examine nothing.
+				if c.Checked == 0 && r.Related > 0 {
+					t.Errorf("check %s/%s examined nothing — vacuous pass", c.Family, c.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestBuiltinTransitivityNonVacuous pins the domain tuning: the default
+// domain must contain real chains for every encoding that claims
+// transitivity, else the law is verified on zero triples.
+func TestBuiltinTransitivityNonVacuous(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		if name == "empty" {
+			continue // relates nothing; zero chains is correct
+		}
+		m, err := Builtin(name, Domain{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Run(m)
+		for _, c := range r.Checks {
+			if c.Name == "transitivity" && !c.Skipped && c.Checked == 0 {
+				t.Errorf("built-in %q: transitivity checked 0 chains", name)
+			}
+		}
+	}
+}
+
+func TestBuiltinUnknown(t *testing.T) {
+	if _, err := Builtin("nope", Domain{}); err == nil {
+		t.Fatal("Builtin(nope) succeeded")
+	}
+}
+
+// TestBuiltinConfluenceExhaustive pins that the default domain stays under
+// the enumeration bound — CI's builtin run must be a proof, not a sample.
+func TestBuiltinConfluenceExhaustive(t *testing.T) {
+	m, err := Builtin("k-enumeration", Domain{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(m)
+	for _, c := range r.Checks {
+		if c.Family == "confluence" && strings.Contains(c.Detail, "sampled") {
+			t.Fatalf("default-domain confluence sampled, want exhaustive: %+v", c)
+		}
+	}
+}
+
+// ---- Unsound models: each check family catches its own lie -----------------
+
+func mustParse(t *testing.T, text string) *Model {
+	t.Helper()
+	m, err := ParseYAML(text)
+	if err != nil {
+		t.Fatalf("ParseYAML: %v", err)
+	}
+	return m
+}
+
+func violationsOf(r *Report, check string) []Violation {
+	var out []Violation
+	for _, v := range r.Violations() {
+		if v.Check == check {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestUnsoundWindowDetected(t *testing.T) {
+	m := mustParse(t, `
+name: unsound-window
+relation: rules
+sender-local: true
+window: 2
+rules:
+  - match: stride
+    from: 3
+    reach: 4
+`)
+	r := Run(m)
+	if r.OK() {
+		t.Fatalf("unsound-window verified sound:\n%s", r.Summary())
+	}
+	ws := violationsOf(r, "windowed")
+	if len(ws) != 1 {
+		t.Fatalf("want 1 windowed violation, got %v", r.Violations())
+	}
+	// The enumeration-order-minimal witness is the first in-behaviour pair
+	// beyond the declared window: p1:1 ≺ p1:4 at distance 3.
+	if want := "p1:1 ≺ p1:4 at distance 3 exceeds window 2"; ws[0].Witness != want {
+		t.Errorf("windowed witness = %q, want %q", ws[0].Witness, want)
+	}
+	cs := violationsOf(r, "confluence")
+	if len(cs) != 1 {
+		t.Fatalf("want 1 confluence divergence, got %v", r.Violations())
+	}
+	// The minimized arrival witness must be a genuine divergence of minimal
+	// length: a single victim plus the single message whose indexed purge
+	// misses it — 2 arrivals.
+	if n := strings.Count(cs[0].Witness, ":"); n < 2 {
+		t.Errorf("confluence witness %q has no arrivals", cs[0].Witness)
+	}
+	if got := arrivalCount(cs[0].Witness); got != 2 {
+		t.Errorf("confluence witness not minimal: %d arrivals in %q", got, cs[0].Witness)
+	}
+}
+
+// arrivalCount counts the messages in the leading "[...]" arrival list of a
+// confluence witness.
+func arrivalCount(witness string) int {
+	open := strings.Index(witness, "[")
+	close := strings.Index(witness, "]")
+	if open < 0 || close < open {
+		return -1
+	}
+	return len(strings.Fields(witness[open+1 : close]))
+}
+
+func TestUnsoundCrossDetected(t *testing.T) {
+	m := mustParse(t, `
+name: unsound-cross
+relation: rules
+sender-local: true
+rules:
+  - match: cross-sender
+    reach: 2
+`)
+	r := Run(m)
+	if r.OK() {
+		t.Fatalf("unsound-cross verified sound:\n%s", r.Summary())
+	}
+	sl := violationsOf(r, "sender-local")
+	if len(sl) != 1 || !strings.Contains(sl[0].Witness, "crosses senders") {
+		t.Fatalf("want 1 crosses-senders violation, got %v", r.Violations())
+	}
+	if len(violationsOf(r, "confluence")) != 1 {
+		t.Fatalf("want indexed-vs-scan divergence, got %v", r.Violations())
+	}
+}
+
+func TestSymmetricViolatesAntisymmetry(t *testing.T) {
+	m := mustParse(t, `
+relation: rules
+rules:
+  - match: symmetric
+    reach: 2
+`)
+	r := Run(m)
+	vs := violationsOf(r, "antisymmetry")
+	if len(vs) != 1 {
+		t.Fatalf("want antisymmetry violation, got %v", r.Violations())
+	}
+}
+
+func TestSelfViolatesIrreflexivity(t *testing.T) {
+	m := mustParse(t, `
+relation: rules
+rules:
+  - match: self
+`)
+	r := Run(m)
+	vs := violationsOf(r, "irreflexivity")
+	if len(vs) != 1 {
+		t.Fatalf("want irreflexivity violation, got %v", r.Violations())
+	}
+}
+
+func TestNonTransitiveClaimDetected(t *testing.T) {
+	// stride[1,2] is not transitive (1≺2≺4 but 1⊀4 needs delta 3) — claiming
+	// transitivity must fail with a chain witness.
+	m := mustParse(t, `
+relation: rules
+transitive: true
+rules:
+  - match: stride
+    reach: 2
+`)
+	r := Run(m)
+	vs := violationsOf(r, "transitivity")
+	if len(vs) != 1 || !strings.Contains(vs[0].Witness, "⊀") {
+		t.Fatalf("want transitivity violation with ⊀ witness, got %v", r.Violations())
+	}
+}
+
+// TestSoundRulesModel: a windowed stride whose declaration matches its
+// behaviour verifies sound end to end. The reach spans the whole stream
+// (depth 6), so the relation is genuinely transitive — a shorter stride
+// would not be (1≺2≺5 without 1≺5).
+func TestSoundRulesModel(t *testing.T) {
+	m := mustParse(t, `
+name: honest-stride
+relation: rules
+sender-local: true
+window: 6
+transitive: true
+rules:
+  - match: stride
+    reach: 6
+`)
+	r := Run(m)
+	if !r.OK() {
+		t.Fatalf("honest model unsound:\n%s", r.Summary())
+	}
+}
+
+// ---- YAML parser -----------------------------------------------------------
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"missing-relation", "name: x\n", "missing required key"},
+		{"unknown-key", "relation: empty\nbogus: 1\n", `unknown key "bogus"`},
+		{"duplicate-key", "relation: empty\nrelation: tagging\n", "duplicate key"},
+		{"bad-bool", "relation: empty\ntransitive: maybe\n", "want true or false"},
+		{"bad-int", "relation: empty\ndepth: -3\n", "non-negative integer"},
+		{"rules-without-relation-rules", "relation: empty\nrules:\n  - match: stride\n", "only valid with relation: rules"},
+		{"rules-empty", "relation: rules\n", "non-empty rules section"},
+		{"rule-unknown-match", "relation: rules\nrules:\n  - match: wat\n", "unknown rule match"},
+		{"rule-unknown-key", "relation: rules\nrules:\n  - match: stride\n    stride: 2\n", `unknown key "stride"`},
+		{"rule-from-nonstride", "relation: rules\nrules:\n  - match: cross-sender\n    from: 2\n", "only valid for stride"},
+		{"rule-from-beyond-reach", "relation: rules\nrules:\n  - match: stride\n    reach: 2\n    from: 3\n", "positive integer ≤ reach"},
+		{"window-without-senderlocal", "relation: rules\nwindow: 2\nrules:\n  - match: stride\n", "window declared without sender-local"},
+		{"value-missing", "relation:\n", "no value"},
+		{"not-kv", "relation: empty\njust words\n", "expected key: value"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseYAML(tc.text)
+			if err == nil {
+				t.Fatalf("ParseYAML accepted %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseYAMLDefaults(t *testing.T) {
+	m := mustParse(t, "relation: k-enumeration\n")
+	if m.Name != "k-enumeration" {
+		t.Errorf("Name = %q, want relation name fallback", m.Name)
+	}
+	// Declarations default to the relation's own capabilities.
+	caps := obsolete.CapsOf(obsolete.KEnumeration{K: DefaultDomain.K})
+	if m.SenderLocal != caps.SenderLocal || m.Window != caps.Window {
+		t.Errorf("declarations (%v,%d) differ from relation's own (%v,%d)",
+			m.SenderLocal, m.Window, caps.SenderLocal, caps.Window)
+	}
+	if !m.Transitive || m.TransWindow != DefaultDomain.K {
+		t.Errorf("k-enumeration should claim transitivity within its window")
+	}
+}
+
+func TestParseYAMLOverrides(t *testing.T) {
+	// A spec may weaken a built-in's declarations to probe what-ifs.
+	m := mustParse(t, "relation: k-enumeration\nsender-local: false\nwindow: 0\ntransitive: false\n")
+	if m.SenderLocal || m.Window != 0 || m.Transitive {
+		t.Errorf("overrides not applied: %+v", m)
+	}
+}
+
+// ---- Interleaving enumeration ----------------------------------------------
+
+func TestCountInterleavings(t *testing.T) {
+	mk := func(depths ...int) []Stream {
+		var out []Stream
+		for i, d := range depths {
+			s := Stream{Sender: senderPID(i)}
+			for j := 1; j <= d; j++ {
+				s.Msgs = append(s.Msgs, obsolete.Msg{Sender: s.Sender, Seq: seq(j)})
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	cases := []struct {
+		depths []int
+		want   uint64
+	}{
+		{[]int{}, 1},
+		{[]int{3}, 1},
+		{[]int{1, 1}, 2},
+		{[]int{2, 2}, 6},
+		{[]int{6, 6}, 924},     // C(12,6)
+		{[]int{3, 3, 3}, 1680}, // 9!/(3!3!3!)
+	}
+	for _, tc := range cases {
+		got, exceeded := countInterleavings(mk(tc.depths...), 1_000_000)
+		if exceeded || got != tc.want {
+			t.Errorf("countInterleavings(%v) = %d (exceeded=%v), want %d", tc.depths, got, exceeded, tc.want)
+		}
+	}
+	if got, exceeded := countInterleavings(mk(20, 20), 2000); !exceeded || got != 2001 {
+		t.Errorf("cap: got (%d,%v), want (2001,true)", got, exceeded)
+	}
+}
+
+func TestEnumerateVisitsAllFIFO(t *testing.T) {
+	streams := []Stream{
+		{Sender: senderPID(0), Msgs: []obsolete.Msg{
+			{Sender: senderPID(0), Seq: 1}, {Sender: senderPID(0), Seq: 2}}},
+		{Sender: senderPID(1), Msgs: []obsolete.Msg{
+			{Sender: senderPID(1), Seq: 1}, {Sender: senderPID(1), Seq: 2}}},
+	}
+	seen := map[string]bool{}
+	visited, exhaustive := forEachInterleaving(streams, 100, func(arr []obsolete.Msg) bool {
+		last := map[string]uint64{}
+		for _, m := range arr {
+			if uint64(m.Seq) <= last[string(m.Sender)] {
+				t.Fatalf("FIFO violated in %s", msgsStr(arr))
+			}
+			last[string(m.Sender)] = uint64(m.Seq)
+		}
+		seen[msgsStr(arr)] = true
+		return true
+	})
+	if !exhaustive || visited != 6 || len(seen) != 6 {
+		t.Fatalf("visited %d (exhaustive=%v), distinct %d; want 6 exhaustive distinct", visited, exhaustive, len(seen))
+	}
+}
+
+func TestSampledEnumerationIsFIFOAndBounded(t *testing.T) {
+	var streams []Stream
+	for i := 0; i < 3; i++ {
+		s := Stream{Sender: senderPID(i)}
+		for j := 1; j <= 8; j++ {
+			s.Msgs = append(s.Msgs, obsolete.Msg{Sender: s.Sender, Seq: seq(j)})
+		}
+		streams = append(streams, s)
+	}
+	visited, exhaustive := forEachInterleaving(streams, 50, func(arr []obsolete.Msg) bool {
+		if len(arr) != 24 {
+			t.Fatalf("interleaving has %d messages, want 24", len(arr))
+		}
+		last := map[string]uint64{}
+		for _, m := range arr {
+			if uint64(m.Seq) <= last[string(m.Sender)] {
+				t.Fatalf("FIFO violated in sample")
+			}
+			last[string(m.Sender)] = uint64(m.Seq)
+		}
+		return true
+	})
+	if exhaustive || visited != 50 {
+		t.Fatalf("visited %d (exhaustive=%v), want 50 sampled", visited, exhaustive)
+	}
+}
+
+// ---- Witness minimization --------------------------------------------------
+
+func TestMinimizeFixpoint(t *testing.T) {
+	// Predicate: sequence contains both p1:1 and p1:4 in that relative
+	// order (the shape of a real divergence witness).
+	has := func(arr []obsolete.Msg) bool {
+		i1, i4 := -1, -1
+		for i, m := range arr {
+			if m.Sender == senderPID(0) && m.Seq == 1 {
+				i1 = i
+			}
+			if m.Sender == senderPID(0) && m.Seq == 4 {
+				i4 = i
+			}
+		}
+		return i1 >= 0 && i4 > i1
+	}
+	var arr []obsolete.Msg
+	for i := 1; i <= 6; i++ {
+		arr = append(arr, obsolete.Msg{Sender: senderPID(0), Seq: seq(i)})
+		arr = append(arr, obsolete.Msg{Sender: senderPID(1), Seq: seq(i)})
+	}
+	w := minimize(arr, has)
+	if len(w) != 2 || !has(w) {
+		t.Fatalf("minimize left %s, want exactly [p1:1 p1:4]", msgsStr(w))
+	}
+}
+
+// ---- Report rendering ------------------------------------------------------
+
+func TestReportQuietShowsOnlyFailures(t *testing.T) {
+	m := mustParse(t, `
+relation: rules
+sender-local: true
+rules:
+  - match: cross-sender
+    reach: 2
+`)
+	r := Run(m)
+	var b strings.Builder
+	r.Format(&b, true)
+	out := b.String()
+	if strings.Contains(out, "PASS") {
+		t.Errorf("quiet output contains PASS lines:\n%s", out)
+	}
+	if !strings.Contains(out, "VIOLATION: sender-local:") {
+		t.Errorf("quiet output missing violation:\n%s", out)
+	}
+	if !strings.Contains(out, "UNSOUND") {
+		t.Errorf("quiet output missing verdict:\n%s", out)
+	}
+}
+
+func TestReportSoundVerdict(t *testing.T) {
+	m, err := Builtin("empty", Domain{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(m)
+	var b strings.Builder
+	r.Format(&b, false)
+	if !strings.Contains(b.String(), "Result: SOUND") {
+		t.Errorf("full report missing SOUND verdict:\n%s", b.String())
+	}
+}

@@ -1,0 +1,150 @@
+package relcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obsolete"
+)
+
+// Rule relations. A YAML model with `relation: rules` describes its
+// relation as the union of small rule predicates, enough to model the
+// shape of an application relation — and, deliberately, to model unsound
+// ones: a rule set whose reach exceeds the declared window, or that
+// crosses senders under a sender-local declaration, reproduces exactly the
+// failure a bad third-party relation would smuggle past the purge index.
+type rule interface {
+	// obsoletes reports old ≺ new under this rule alone.
+	obsoletes(old, new obsolete.Msg) bool
+	// String renders the rule for the report header.
+	String() string
+}
+
+// strideRule relates same-sender messages between from and reach apart:
+// old ≺ new iff same sender and from ≤ new.Seq − old.Seq ≤ reach. A from
+// above 1 models a batch-commit shape that obsoletes only far-back
+// messages — the shape that exposes a too-small declared window in the
+// confluence check, because intermediate arrivals never purge the victim
+// incrementally.
+type strideRule struct{ from, reach int }
+
+func (r strideRule) obsoletes(old, new obsolete.Msg) bool {
+	return old.Sender == new.Sender && old.Seq < new.Seq &&
+		uint64(new.Seq-old.Seq) >= uint64(r.from) &&
+		uint64(new.Seq-old.Seq) <= uint64(r.reach)
+}
+func (r strideRule) String() string {
+	if r.from > 1 {
+		return fmt.Sprintf("stride[%d,%d]", r.from, r.reach)
+	}
+	return fmt.Sprintf("stride≤%d", r.reach)
+}
+
+// tagRule is the tagging shape: same sender, same 4-byte tag, earlier seq.
+type tagRule struct{}
+
+func (tagRule) obsoletes(old, new obsolete.Msg) bool {
+	return obsolete.Tagging{}.Obsoletes(old, new)
+}
+func (tagRule) String() string { return "tag" }
+
+// crossSenderRule relates messages of different senders within reach —
+// unsound under any SenderLocal declaration.
+type crossSenderRule struct{ reach int }
+
+func (r crossSenderRule) obsoletes(old, new obsolete.Msg) bool {
+	return old.Sender != new.Sender && old.Seq < new.Seq &&
+		uint64(new.Seq-old.Seq) <= uint64(r.reach)
+}
+func (r crossSenderRule) String() string { return fmt.Sprintf("cross-sender≤%d", r.reach) }
+
+// symmetricRule relates same-sender messages within reach in both
+// directions — violates antisymmetry.
+type symmetricRule struct{ reach int }
+
+func (r symmetricRule) obsoletes(old, new obsolete.Msg) bool {
+	if old.Sender != new.Sender || old.Seq == new.Seq {
+		return false
+	}
+	d := uint64(new.Seq - old.Seq)
+	if new.Seq < old.Seq {
+		d = uint64(old.Seq - new.Seq)
+	}
+	return d <= uint64(r.reach)
+}
+func (r symmetricRule) String() string { return fmt.Sprintf("symmetric≤%d", r.reach) }
+
+// selfRule relates every message to itself — violates irreflexivity.
+type selfRule struct{}
+
+func (selfRule) obsoletes(old, new obsolete.Msg) bool {
+	return old.Sender == new.Sender && old.Seq == new.Seq
+}
+func (selfRule) String() string { return "self" }
+
+// ruleRelation is the union of its rules. It implements the capability
+// interfaces according to the model's *declarations*, not its behaviour —
+// that is the point: internal/queue must build the same purge index it
+// would for a real relation making those declarations, so an unsound
+// declaration shows up as an indexed-vs-scan divergence.
+type ruleRelation struct {
+	name        string
+	rules       []rule
+	senderLocal bool
+	window      int
+}
+
+var (
+	_ obsolete.SenderLocal = (*ruleRelation)(nil)
+	_ obsolete.Windowed    = (*ruleRelation)(nil)
+)
+
+func (r *ruleRelation) Name() string {
+	parts := make([]string, len(r.rules))
+	for i, ru := range r.rules {
+		parts[i] = ru.String()
+	}
+	return fmt.Sprintf("rules(%s)", strings.Join(parts, " ∪ "))
+}
+
+func (r *ruleRelation) Obsoletes(old, new obsolete.Msg) bool {
+	for _, ru := range r.rules {
+		if ru.obsoletes(old, new) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *ruleRelation) SenderLocal() bool { return r.senderLocal }
+func (r *ruleRelation) Window() int       { return r.window }
+
+// usesTags reports whether any rule reads tag annotations, so stream
+// synthesis knows to attach them.
+func (r *ruleRelation) usesTags() bool {
+	for _, ru := range r.rules {
+		if _, ok := ru.(tagRule); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleStreams synthesises the universe of a rules model: senders p1..pS
+// with seqs 1..depth, tagged round-robin over tags when the relation
+// reads tags.
+func ruleStreams(rel *ruleRelation, senders, depth, tags int) []Stream {
+	var out []Stream
+	for s := 0; s < senders; s++ {
+		st := Stream{Sender: senderPID(s)}
+		for i := 1; i <= depth; i++ {
+			m := obsolete.Msg{Sender: st.Sender, Seq: seq(i)}
+			if rel.usesTags() {
+				m.Annot = obsolete.TagAnnot(uint32(i % tags))
+			}
+			st.Msgs = append(st.Msgs, m)
+		}
+		out = append(out, st)
+	}
+	return out
+}

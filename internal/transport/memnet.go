@@ -19,16 +19,30 @@ type MemNetwork struct {
 	eps   map[ident.PID]*MemEndpoint
 	delay func(from, to ident.PID) time.Duration
 	cut   map[link]bool
+	clock obs.Clock
 }
 
 type link struct{ from, to ident.PID }
 
-// NewMemNetwork returns an empty network.
+// NewMemNetwork returns an empty network on the wall clock.
 func NewMemNetwork() *MemNetwork {
 	return &MemNetwork{
-		eps: make(map[ident.PID]*MemEndpoint),
-		cut: make(map[link]bool),
+		eps:   make(map[ident.PID]*MemEndpoint),
+		cut:   make(map[link]bool),
+		clock: obs.Wall{},
 	}
+}
+
+// SetClock replaces the clock pacing delayed links — an obs.Fake makes
+// paced delivery deterministic in tests. Like SetDelay, it only affects
+// links created after the call, so install it before attaching endpoints.
+func (n *MemNetwork) SetClock(c obs.Clock) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c == nil {
+		c = obs.Wall{}
+	}
+	n.clock = c
 }
 
 // SetDelay installs a per-link pacing function: every message on the link
@@ -184,7 +198,10 @@ func (e *MemEndpoint) pacedSend(to ident.PID, g ident.GroupID, ch Channel, env E
 	}
 	pl, ok := e.links[key]
 	if !ok {
-		pl = newPacedLink()
+		e.net.mu.RLock()
+		clock := e.net.clock
+		e.net.mu.RUnlock()
+		pl = newPacedLink(clock)
 		e.links[key] = pl
 	}
 	e.mu.Unlock()
@@ -242,8 +259,11 @@ type pacedMsg struct {
 }
 
 // pacedLink serialises messages on a delayed link: each message occupies
-// the link for its delay, preserving FIFO order.
+// the link for its delay, preserving FIFO order. Delays are measured on
+// the network's clock, so a fake clock drives paced delivery
+// deterministically.
 type pacedLink struct {
+	clock  obs.Clock
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []pacedMsg
@@ -252,8 +272,8 @@ type pacedLink struct {
 	wg     sync.WaitGroup
 }
 
-func newPacedLink() *pacedLink {
-	pl := &pacedLink{done: make(chan struct{})}
+func newPacedLink(clock obs.Clock) *pacedLink {
+	pl := &pacedLink{clock: clock, done: make(chan struct{})}
 	pl.cond = sync.NewCond(&pl.mu)
 	pl.wg.Add(1)
 	go pl.run()
@@ -299,9 +319,9 @@ func (pl *pacedLink) run() {
 		pl.items = pl.items[:len(pl.items)-1]
 		pl.mu.Unlock()
 
-		t := time.NewTimer(m.delay)
+		t := pl.clock.NewTimer(m.delay)
 		select {
-		case <-t.C:
+		case <-t.C():
 			m.dst.deposit(m.g, m.ch, m.env)
 		case <-pl.done:
 			t.Stop()

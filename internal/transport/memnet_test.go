@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ident"
+	"repro/internal/obs"
 )
 
 func recvOne(t *testing.T, in <-chan Envelope) Envelope {
@@ -271,6 +272,52 @@ func TestMemNetworkDelayPreservesFIFO(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < count*time.Millisecond {
 		t.Fatalf("delay not applied: %v elapsed for %d paced messages", elapsed, count)
+	}
+}
+
+func TestMemNetworkDelayOnFakeClockIsDeterministic(t *testing.T) {
+	n := NewMemNetwork()
+	fake := obs.NewFake(time.Unix(0, 0))
+	n.SetClock(fake)
+	n.SetDelay(func(from, to ident.PID) time.Duration { return 50 * time.Millisecond })
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	defer a.Close()
+	defer b.Close()
+
+	in := b.Inbox(ident.NodeGroup, Data)
+	if err := a.Send("b", ident.NodeGroup, Data, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", ident.NodeGroup, Data, "second"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rendezvous with the paced-link goroutine: its timer for "first" is
+	// registered, but the frozen clock must be holding the message back.
+	fake.BlockUntil(1)
+	select {
+	case env := <-in:
+		t.Fatalf("delivered %v with a frozen clock", env.Msg)
+	default:
+	}
+
+	fake.Advance(50 * time.Millisecond)
+	if env := recvOne(t, in); env.Msg != "first" {
+		t.Fatalf("got %v, want first", env.Msg)
+	}
+
+	// The link serialises: "second" only starts its delay after "first"
+	// delivers, and stays queued until the clock moves again.
+	fake.BlockUntil(1)
+	select {
+	case env := <-in:
+		t.Fatalf("second message delivered without an advance: %v", env.Msg)
+	default:
+	}
+	fake.Advance(50 * time.Millisecond)
+	if env := recvOne(t, in); env.Msg != "second" {
+		t.Fatalf("got %v, want second", env.Msg)
 	}
 }
 

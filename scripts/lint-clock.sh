@@ -5,14 +5,16 @@
 # any future discrete-event harness) silently stop covering the timers
 # they were written for.
 #
-# Scope: non-test .go files of internal/fd, internal/consensus and
-# internal/core. Tests are exempt — they are free to use real time for
+# Scope: non-test .go files of internal/fd, internal/consensus,
+# internal/core and internal/transport (paced-link delays must run on the
+# injected clock so delay fault injection is deterministic under
+# obs.Fake). Tests are exempt — they are free to use real time for
 # deadlines and polling.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-PKGS="internal/fd internal/consensus internal/core"
+PKGS="internal/fd internal/consensus internal/core internal/transport"
 PATTERN='time\.Now\(|time\.NewTicker\(|time\.NewTimer\(|time\.After\(|time\.Since\(|time\.Tick\('
 
 found=0

@@ -1,0 +1,46 @@
+#!/bin/sh
+# svs-check.sh — CI gate for the obsolescence-relation verifier.
+#
+# Runs cmd/svs-check over every built-in encoding and every model in
+# examples/. Sound models must verify (exit 0); the deliberately unsound
+# examples (examples/unsound-*.yaml) must be rejected (exit 1) AND print
+# a minimal counterexample witness — a checker that flags unsoundness
+# without a witness, or that goes soft on a known-bad model, is itself
+# broken.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== svs-check: built-in encodings =="
+go run ./cmd/svs-check -builtin all -q
+
+status=0
+for f in examples/*.yaml; do
+    case "$f" in
+    examples/unsound-*)
+        echo "== svs-check: $f (must be rejected) =="
+        out=$(go run ./cmd/svs-check -q "$f" 2>&1) && {
+            echo "FAIL: $f verified sound, want rejection"
+            status=1
+            continue
+        }
+        echo "$out"
+        if ! echo "$out" | grep -q "VIOLATION:"; then
+            echo "FAIL: $f rejected without a witness"
+            status=1
+        fi
+        ;;
+    *)
+        echo "== svs-check: $f =="
+        go run ./cmd/svs-check -q "$f" || {
+            echo "FAIL: $f did not verify"
+            status=1
+        }
+        ;;
+    esac
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "svs-check: all models behave as expected"
+fi
+exit "$status"
