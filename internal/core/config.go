@@ -82,19 +82,35 @@ type JoinSpec struct {
 	// requests are reconciled by the view-change consensus like any other
 	// concurrent initiators).
 	Contacts ident.PIDs
-	// Retry is the period at which the join request is retransmitted until
-	// the state transfer arrives — it covers a contact or sponsor crashing
-	// mid-handshake. Default 200ms.
+	// Retry is the base interval of the join retransmission backoff — it
+	// covers a contact or sponsor crashing mid-handshake. Retransmission
+	// n waits min(Retry·2ⁿ, RetryMax) scaled by the jitter factor, so a
+	// herd of joiners hitting a recovering group spreads out instead of
+	// hammering it in lockstep. Default 200ms.
 	Retry time.Duration
+	// RetryMax caps the exponential backoff. 0 means 16×Retry; values
+	// below Retry are raised to Retry.
+	RetryMax time.Duration
+	// RetryJitter is the relative jitter applied to every interval: each
+	// wait is scaled by a uniform factor in [1-RetryJitter, 1+RetryJitter].
+	// It must be below 1. 0 means the default of 0.2; negative disables
+	// jitter (deterministic intervals, what fake-clock tests want).
+	RetryJitter float64
+	// GiveUp abandons the join after this much time without a state
+	// transfer: every parked and future call on the engine fails with
+	// ErrJoinTimeout. It turns "all my contacts are dead" into a clean,
+	// observable error instead of an eternal retry. 0 retries forever.
+	GiveUp time.Duration
 }
 
 // Errors returned by the engine facade.
 var (
-	ErrStopped   = errors.New("core: engine stopped")
-	ErrExpelled  = errors.New("core: process expelled from the group")
-	ErrNotMember = errors.New("core: process not in current view")
-	ErrBadSeq    = errors.New("core: multicast sequence number not contiguous")
-	ErrJoining   = errors.New("core: join in progress")
+	ErrStopped     = errors.New("core: engine stopped")
+	ErrExpelled    = errors.New("core: process expelled from the group")
+	ErrNotMember   = errors.New("core: process not in current view")
+	ErrBadSeq      = errors.New("core: multicast sequence number not contiguous")
+	ErrJoining     = errors.New("core: join in progress")
+	ErrJoinTimeout = errors.New("core: join abandoned: no contact answered within the retry budget")
 )
 
 func (c *Config) validate() error {
@@ -119,7 +135,29 @@ func (c *Config) validate() error {
 		if retry <= 0 {
 			retry = 200 * time.Millisecond
 		}
-		c.Join = &JoinSpec{Contacts: contacts, Retry: retry}
+		retryMax := c.Join.RetryMax
+		if retryMax <= 0 {
+			retryMax = 16 * retry
+		}
+		if retryMax < retry {
+			retryMax = retry
+		}
+		jitter := c.Join.RetryJitter
+		switch {
+		case jitter < 0:
+			jitter = 0
+		case jitter == 0:
+			jitter = 0.2
+		case jitter >= 1:
+			return fmt.Errorf("core: config: Join.RetryJitter %v must be below 1", jitter)
+		}
+		c.Join = &JoinSpec{
+			Contacts:    contacts,
+			Retry:       retry,
+			RetryMax:    retryMax,
+			RetryJitter: jitter,
+			GiveUp:      c.Join.GiveUp,
+		}
 	} else {
 		if len(c.InitialView.Members) == 0 {
 			return fmt.Errorf("core: config: InitialView must have members")

@@ -78,8 +78,14 @@ type Stats struct {
 	LastFlushLen int    // size of the last decided flush set
 
 	MulticastParks uint64 // times a multicast had to wait (flow control)
+	Parked         int    // multicasts currently parked on flow control
 	ToDeliverLen   int    // current delivery-queue occupancy
 	ToDeliverMax   int    // high-water mark of the delivery queue
+
+	// LastSent is the highest sequence number this engine has committed
+	// for its own stream — what an external tracker must continue from
+	// after a rejoin (see obsolete.KTracker.Skip).
+	LastSent ident.Seq
 
 	StablePruned uint64 // history entries reclaimed by stability tracking
 	HistoryLen   int    // current delivery-history size (flush-set bound)

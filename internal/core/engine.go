@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -46,14 +47,21 @@ type Engine struct {
 	proposed bool
 
 	// Join handshake state. joining is true from Start until the state
-	// transfer installs the first view; joinTick retransmits the join
-	// request meanwhile. pendingJoins holds admission requests received
-	// while a view change is in flight. joinSeeded records, per sender,
-	// the highest current-view sequence number adopted from a state
-	// transfer: those entries never consumed a window slot here, so their
-	// delivery or purge must not grant credits (see deliverItem).
+	// transfer installs the first view; joinTimer retransmits the join
+	// request meanwhile under capped exponential backoff with jitter
+	// (joinAttempt counts retransmissions, joinRNG draws the jitter).
+	// joinFailed is set when JoinSpec.GiveUp expires without a transfer:
+	// the engine is dead to the application from then on (ErrJoinTimeout).
+	// pendingJoins holds admission requests received while a view change
+	// is in flight. joinSeeded records, per sender, the highest
+	// current-view sequence number adopted from a state transfer: those
+	// entries never consumed a window slot here, so their delivery or
+	// purge must not grant credits (see deliverItem).
 	joining      bool
-	joinTick     obs.Ticker
+	joinFailed   bool
+	joinTimer    obs.Timer
+	joinAttempt  int
+	joinRNG      *rand.Rand
 	joinStart    time.Time // when the join handshake began (joinDur)
 	pendingJoins ident.PIDs
 	joinSeeded   map[ident.PID]ident.Seq
@@ -210,8 +218,9 @@ func (e *Engine) Start() error {
 		e.stabTick = e.clock.NewTicker(e.cfg.StabilityInterval)
 	}
 	if e.cfg.Join != nil {
-		e.joinTick = e.clock.NewTicker(e.cfg.Join.Retry)
 		e.joinStart = e.clock.Now()
+		e.joinRNG = rand.New(rand.NewSource(e.joinStart.UnixNano()))
+		e.joinTimer = e.clock.NewTimer(e.nextJoinDelay())
 	}
 	go e.run()
 	return nil
@@ -348,10 +357,12 @@ func (e *Engine) run() {
 		stabC = e.stabTick.C()
 		defer e.stabTick.Stop()
 	}
-	var joinC <-chan time.Time
-	if e.joinTick != nil {
-		joinC = e.joinTick.C()
-		defer e.joinTick.Stop()
+	if e.joining {
+		defer func() {
+			if e.joinTimer != nil {
+				e.joinTimer.Stop()
+			}
+		}()
 		e.sendJoinReq()
 	}
 
@@ -361,6 +372,11 @@ func (e *Engine) run() {
 		dataC := dataIn
 		if e.blocked || e.expelled || e.joining || e.stalled != nil || e.toDeliver.Full() {
 			dataC = nil
+		}
+		// Re-fetched every iteration: each backoff step arms a fresh timer.
+		var joinC <-chan time.Time
+		if e.joinTimer != nil {
+			joinC = e.joinTimer.C()
 		}
 		select {
 		case <-e.stopC:
@@ -391,9 +407,7 @@ func (e *Engine) run() {
 		case <-stabC:
 			e.gossipStability()
 		case <-joinC:
-			if e.joining {
-				e.sendJoinReq()
-			}
+			e.onJoinRetry()
 		}
 		e.syncSnapshots()
 	}
@@ -404,6 +418,65 @@ func (e *Engine) sendJoinReq() {
 	for _, c := range e.cfg.Join.Contacts {
 		e.send(c, transport.Ctl, JoinReqMsg{})
 	}
+}
+
+// onJoinRetry fires on each backoff step: give up if the retry budget is
+// spent, otherwise retransmit and arm the next (longer) wait.
+func (e *Engine) onJoinRetry() {
+	if !e.joining {
+		e.joinTimer = nil
+		return
+	}
+	if g := e.cfg.Join.GiveUp; g > 0 && e.clock.Since(e.joinStart) >= g {
+		e.failJoin()
+		return
+	}
+	e.sendJoinReq()
+	e.joinAttempt++
+	e.joinTimer = e.clock.NewTimer(e.nextJoinDelay())
+}
+
+// nextJoinDelay computes the wait before retransmission joinAttempt:
+// min(Retry·2ⁿ, RetryMax), scaled by a uniform jitter factor in
+// [1-RetryJitter, 1+RetryJitter].
+func (e *Engine) nextJoinDelay() time.Duration {
+	js := e.cfg.Join
+	d := js.Retry
+	for i := 0; i < e.joinAttempt && d < js.RetryMax; i++ {
+		d *= 2
+	}
+	if d > js.RetryMax {
+		d = js.RetryMax
+	}
+	if js.RetryJitter > 0 && e.joinRNG != nil {
+		d = time.Duration(float64(d) * (1 + js.RetryJitter*(2*e.joinRNG.Float64()-1)))
+		if d <= 0 {
+			d = time.Millisecond
+		}
+	}
+	return d
+}
+
+// failJoin abandons the join handshake: the retry budget (JoinSpec.GiveUp)
+// expired without a state transfer. Every parked call fails with
+// ErrJoinTimeout, as does everything submitted afterwards — the engine
+// never installed a view, so there is nothing to recover; the caller
+// stops it and retries with live contacts.
+func (e *Engine) failJoin() {
+	if e.joinTimer != nil {
+		e.joinTimer.Stop()
+		e.joinTimer = nil
+	}
+	e.joining = false
+	e.joinFailed = true
+	for _, w := range e.deliverWaiters {
+		w.errC <- ErrJoinTimeout
+	}
+	e.deliverWaiters = nil
+	for _, m := range e.multicastQ {
+		m.mcC <- mcResult{err: ErrJoinTimeout}
+	}
+	e.multicastQ = nil
 }
 
 // send is the engine's best-effort transmit: in the crash-stop model a
@@ -422,6 +495,8 @@ func (e *Engine) syncSnapshots() {
 	e.stats.Members = len(e.cv.Members)
 	e.stats.ToDeliverLen = e.toDeliver.Len()
 	e.stats.HistoryLen = e.delivered.Len()
+	e.stats.Parked = len(e.multicastQ)
+	e.stats.LastSent = e.lastSent
 	if st := e.toDeliver.Stats(); st.MaxLen > e.stats.ToDeliverMax {
 		e.stats.ToDeliverMax = st.MaxLen
 	}
@@ -431,6 +506,7 @@ func (e *Engine) syncSnapshots() {
 	e.m.qMax.Max(int64(e.stats.ToDeliverMax))
 	e.m.histLen.Set(int64(e.stats.HistoryLen))
 	e.m.purgedQ.Set(int64(e.stats.PurgedToDeliver))
+	e.m.parkedG.Set(int64(e.stats.Parked))
 	e.mu.Lock()
 	e.curView = e.cv.Clone()
 	e.curStats = e.stats

@@ -43,6 +43,7 @@ type engMetrics struct {
 	purgedQ   *obs.Gauge // cumulative delivery-queue purges (queue-owned)
 	blockedG  *obs.Gauge // 1 while the group is blocked for a view change
 	flushLast *obs.Gauge // size of the last decided flush set
+	parkedG   *obs.Gauge // multicasts currently parked on flow control
 
 	// Timings.
 	deliverLatency *obs.Histogram // enqueue -> application deliver
@@ -85,6 +86,7 @@ func newEngMetrics(ob *obs.Obs) engMetrics {
 		purgedQ:   ob.Gauge("engine_purged_todeliver"),
 		blockedG:  ob.Gauge("engine_blocked"),
 		flushLast: ob.Gauge("engine_last_flush_len"),
+		parkedG:   ob.Gauge("engine_parked_current"),
 
 		deliverLatency: ob.Histogram("engine_deliver_latency_seconds", obs.DurationBuckets),
 		viewChange:     ob.Histogram("engine_view_change_seconds", obs.DurationBuckets),

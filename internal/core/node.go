@@ -279,6 +279,13 @@ func (n *Node) Join(id ident.GroupID, gc GroupConfig, contacts ...ident.PID) (*G
 	return n.host(id, gc, &JoinSpec{Contacts: ident.NewPIDs(contacts...)})
 }
 
+// JoinWith is Join with an explicit JoinSpec, for callers that need to
+// tune the retransmission backoff or set a give-up budget (JoinSpec.GiveUp)
+// instead of retrying dead contacts forever.
+func (n *Node) JoinWith(id ident.GroupID, gc GroupConfig, spec JoinSpec) (*Group, error) {
+	return n.host(id, gc, &spec)
+}
+
 // Create joins this node to group id as a founding member: it registers
 // the group's transport inboxes, taps the shared failure detector, and
 // starts a group-scoped engine. Every founding member must Create the

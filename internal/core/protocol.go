@@ -63,6 +63,9 @@ func (e *Engine) park(req *request) {
 }
 
 func (e *Engine) multicastPrecheck(req *request) error {
+	if e.joinFailed {
+		return ErrJoinTimeout
+	}
 	if e.expelled {
 		return ErrExpelled
 	}
@@ -278,6 +281,11 @@ func (e *Engine) serveDeliveries() {
 		}
 		it, ok := e.toDeliver.PopHead()
 		if !ok {
+			if e.joinFailed {
+				e.deliverWaiters = e.deliverWaiters[1:]
+				w.errC <- ErrJoinTimeout
+				continue
+			}
 			if e.expelled {
 				e.deliverWaiters = e.deliverWaiters[1:]
 				w.errC <- ErrExpelled
@@ -353,6 +361,9 @@ func (e *Engine) retryParked() {
 // ---- t4: trigger view change ---------------------------------------------
 
 func (e *Engine) triggerViewChange(join, leave ident.PIDs) error {
+	if e.joinFailed {
+		return ErrJoinTimeout
+	}
 	if e.expelled {
 		return ErrExpelled
 	}
@@ -828,8 +839,9 @@ func (e *Engine) onJoinState(from ident.PID, m StateMsg) {
 	if m.View == 0 || !members.Contains(e.cfg.Self) || !members.Contains(from) || from == e.cfg.Self {
 		return
 	}
-	if e.joinTick != nil {
-		e.joinTick.Stop()
+	if e.joinTimer != nil {
+		e.joinTimer.Stop()
+		e.joinTimer = nil
 	}
 	e.joining = false
 	e.stats.ViewsInstalled++

@@ -102,7 +102,7 @@ func (t *KTracker) Next(direct ...ident.Seq) (ident.Seq, []byte) {
 		bm[i] = 0
 	}
 	for _, d := range direct {
-		if d >= seq || uint64(seq-d) > uint64(t.k) {
+		if d == 0 || d >= seq || uint64(seq-d) > uint64(t.k) {
 			continue
 		}
 		delta := int(seq - d)
@@ -113,6 +113,26 @@ func (t *KTracker) Next(direct ...ident.Seq) (ident.Seq, []byte) {
 	}
 	bm.Trim(t.k)
 	return seq, bm.Bytes()
+}
+
+// Skip fast-forwards the tracker to sequence number to, so the next
+// message is allocated to+1. It exists for a process resuming its own
+// stream after a rejoin: the engine's frontier tells it where its earlier
+// incarnation left off (core.Stats.LastSent), but the tracker holding the
+// bitmaps of those messages is gone. The ring is cleared, so nothing
+// allocated after Skip claims to obsolete anything at or before to —
+// safe (claiming nothing is always sound), at the cost of one window of
+// lost purging opportunity. Skipping backwards is a no-op.
+func (t *KTracker) Skip(to ident.Seq) {
+	if to <= t.seq {
+		return
+	}
+	t.seq = to
+	for i := range t.ring {
+		for j := range t.ring[i] {
+			t.ring[i][j] = 0
+		}
+	}
 }
 
 // Annot returns the wire annotation of an already-allocated recent message

@@ -109,6 +109,22 @@ func TestKTrackerTransitiveClosure(t *testing.T) {
 	}
 }
 
+// TestKTrackerNextZeroPredecessor: seq 0 is not a message; passing it as
+// a direct predecessor (the natural idiom tr.Next(tr.Seq()) on a fresh
+// tracker) must be dropped, not crash with a negative ring index.
+func TestKTrackerNextZeroPredecessor(t *testing.T) {
+	tr := NewKTracker(16)
+	s1, a1 := tr.Next(tr.Seq()) // Seq() == 0 here
+	if s1 != 1 {
+		t.Fatalf("first seq = %d, want 1", s1)
+	}
+	m1 := msg("p", s1, a1)
+	s2, a2 := tr.Next(s1)
+	if !(KEnumeration{K: 16}).Obsoletes(m1, msg("p", s2, a2)) {
+		t.Fatal("chain after a zero predecessor lost m1 ≺ m2")
+	}
+}
+
 func TestKTrackerWindowTruncation(t *testing.T) {
 	const k = 4
 	r := KEnumeration{K: k}

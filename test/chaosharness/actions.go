@@ -1,0 +1,304 @@
+package chaosharness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ActionKind enumerates the chaos actions.
+type ActionKind int
+
+const (
+	// ActMcast enqueues Count multicasts at Node in Group.
+	ActMcast ActionKind = iota + 1
+	// ActJoin spawns a fresh process named Node and joins it to Group.
+	ActJoin
+	// ActLeave makes Node leave Group gracefully (self-requested view
+	// change, then detach).
+	ActLeave
+	// ActKill SIGKILLs Node; the survivors evict it.
+	ActKill
+	// ActRestart spawns a fresh process named Node joining Groups — the
+	// replacement for an earlier kill (a restart is a new incarnation:
+	// fresh PID, fresh sequence numbers, same cluster role).
+	ActRestart
+	// ActPartition isolates Node from every other process (both
+	// directions) for Ms milliseconds, then heals. Outlasting the
+	// failure-detector timeout, it normally ends in eviction + rejoin.
+	ActPartition
+	// ActBlock pauses Node's delivery pump in Group for Ms milliseconds,
+	// exercising flow control and semantic purging against a slow
+	// consumer.
+	ActBlock
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActMcast:
+		return "mcast"
+	case ActJoin:
+		return "join"
+	case ActLeave:
+		return "leave"
+	case ActKill:
+		return "kill"
+	case ActRestart:
+		return "restart"
+	case ActPartition:
+		return "partition"
+	case ActBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}
+
+// Action is one step of the chaos schedule.
+type Action struct {
+	Kind   ActionKind
+	Node   string
+	Group  int
+	Groups []int  // ActRestart: groups the replacement joins
+	Count  int    // ActMcast
+	Ms     int    // ActPartition / ActBlock duration
+	Repl   string // ActPartition: name of the post-heal replacement joiner
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActMcast:
+		return fmt.Sprintf("mcast node=%s group=%d count=%d", a.Node, a.Group, a.Count)
+	case ActJoin:
+		return fmt.Sprintf("join node=%s group=%d", a.Node, a.Group)
+	case ActLeave:
+		return fmt.Sprintf("leave node=%s group=%d", a.Node, a.Group)
+	case ActKill:
+		return fmt.Sprintf("kill node=%s", a.Node)
+	case ActRestart:
+		return fmt.Sprintf("restart node=%s groups=%v", a.Node, a.Groups)
+	case ActPartition:
+		return fmt.Sprintf("partition node=%s ms=%d repl=%s", a.Node, a.Ms, a.Repl)
+	case ActBlock:
+		return fmt.Sprintf("block node=%s group=%d ms=%d", a.Node, a.Group, a.Ms)
+	}
+	return a.Kind.String()
+}
+
+// GenConfig shapes the generated schedule.
+type GenConfig struct {
+	Nodes  int // founding processes (default 4)
+	Groups int // groups, all founded by all initial nodes (default 2)
+}
+
+func (c *GenConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Groups <= 0 {
+		c.Groups = 2
+	}
+}
+
+// NodeName is the canonical name of the i-th process ever spawned.
+func NodeName(i int) string { return fmt.Sprintf("n%02d", i) }
+
+// genModel mirrors the cluster state the executor will reach if every
+// action succeeds; the generator consults it so the stream stays
+// applicable (kills keep strict majorities, contacts exist, and so on).
+type genModel struct {
+	alive   map[string]bool
+	members map[int][]string // group -> sorted member names
+	// killedPool holds kill victims awaiting an ActRestart, with the
+	// groups they were members of.
+	killedPool []killedEntry
+	next       int
+}
+
+type killedEntry struct {
+	name   string
+	groups []int
+}
+
+func (m *genModel) fresh() string {
+	n := NodeName(m.next)
+	m.next++
+	return n
+}
+
+func (m *genModel) groupsOf(name string) []int {
+	var out []int
+	for g := range m.members {
+		for _, p := range m.members[g] {
+			if p == name {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (m *genModel) remove(name string, g int) {
+	ms := m.members[g][:0]
+	for _, p := range m.members[g] {
+		if p != name {
+			ms = append(ms, p)
+		}
+	}
+	m.members[g] = ms
+}
+
+// disruptable reports whether name can be killed / partitioned away:
+// every group it belongs to must retain a strict majority (which needs
+// at least 3 members), and it must not be the last spare process.
+func (m *genModel) disruptable(name string) bool {
+	if len(m.alive) <= 3 {
+		return false
+	}
+	for _, g := range m.groupsOf(name) {
+		if len(m.members[g]) < 3 {
+			return false
+		}
+	}
+	return true
+}
+
+func pick(rng *rand.Rand, s []string) string { return s[rng.Intn(len(s))] }
+
+// Gen deterministically expands a seed into a stream of n actions: same
+// seed and config, same stream, always — the whole harness's
+// replayability rests on this being a pure function.
+func Gen(seed int64, n int, cfg GenConfig) []Action {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	m := &genModel{
+		alive:   make(map[string]bool),
+		members: make(map[int][]string),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		m.alive[m.fresh()] = true
+	}
+	founders := make([]string, 0, cfg.Nodes)
+	for p := range m.alive {
+		founders = append(founders, p)
+	}
+	sort.Strings(founders)
+	for g := 1; g <= cfg.Groups; g++ {
+		m.members[g] = append([]string(nil), founders...)
+	}
+
+	aliveSorted := func() []string {
+		out := make([]string, 0, len(m.alive))
+		for p := range m.alive {
+			out = append(out, p)
+		}
+		sort.Strings(out)
+		return out
+	}
+	randGroup := func() int { return 1 + rng.Intn(cfg.Groups) }
+
+	actions := make([]Action, 0, n)
+	for len(actions) < n {
+		var a Action
+		switch w := rng.Intn(100); {
+		case w < 55: // multicast: the steady workload
+			g := randGroup()
+			if len(m.members[g]) == 0 {
+				continue
+			}
+			a = Action{Kind: ActMcast, Node: pick(rng, m.members[g]), Group: g,
+				Count: 3 + rng.Intn(12)}
+
+		case w < 65: // join: a fresh process enters a group
+			g := randGroup()
+			if len(m.members[g]) == 0 {
+				continue
+			}
+			name := m.fresh()
+			a = Action{Kind: ActJoin, Node: name, Group: g}
+			m.alive[name] = true
+			m.members[g] = append(m.members[g], name)
+			sort.Strings(m.members[g])
+
+		case w < 70: // leave: graceful departure from one group
+			g := randGroup()
+			if len(m.members[g]) < 3 {
+				continue
+			}
+			name := pick(rng, m.members[g])
+			a = Action{Kind: ActLeave, Node: name, Group: g}
+			m.remove(name, g)
+
+		case w < 78: // kill
+			cands := aliveSorted()
+			name := pick(rng, cands)
+			if !m.disruptable(name) {
+				continue
+			}
+			a = Action{Kind: ActKill, Node: name}
+			groups := m.groupsOf(name)
+			for _, g := range groups {
+				m.remove(name, g)
+			}
+			delete(m.alive, name)
+			m.killedPool = append(m.killedPool, killedEntry{name: name, groups: groups})
+
+		case w < 85: // restart: a replacement for an earlier kill
+			if len(m.killedPool) == 0 {
+				continue
+			}
+			i := rng.Intn(len(m.killedPool))
+			ke := m.killedPool[i]
+			m.killedPool = append(m.killedPool[:i], m.killedPool[i+1:]...)
+			var groups []int
+			for _, g := range ke.groups {
+				if len(m.members[g]) > 0 {
+					groups = append(groups, g)
+				}
+			}
+			if len(groups) == 0 {
+				continue
+			}
+			name := m.fresh()
+			a = Action{Kind: ActRestart, Node: name, Groups: groups}
+			m.alive[name] = true
+			for _, g := range groups {
+				m.members[g] = append(m.members[g], name)
+				sort.Strings(m.members[g])
+			}
+
+		case w < 92: // partition: isolate one process, then heal
+			cands := aliveSorted()
+			name := pick(rng, cands)
+			if !m.disruptable(name) {
+				continue
+			}
+			// The executor replaces the (normally evicted) victim with a
+			// fresh joiner; model that replacement now.
+			groups := m.groupsOf(name)
+			for _, g := range groups {
+				m.remove(name, g)
+			}
+			delete(m.alive, name)
+			repl := m.fresh()
+			a = Action{Kind: ActPartition, Node: name, Ms: 400 + rng.Intn(300), Repl: repl}
+			m.alive[repl] = true
+			for _, g := range groups {
+				m.members[g] = append(m.members[g], repl)
+				sort.Strings(m.members[g])
+			}
+
+		default: // flow-block a consumer for a while
+			g := randGroup()
+			if len(m.members[g]) == 0 {
+				continue
+			}
+			a = Action{Kind: ActBlock, Node: pick(rng, m.members[g]), Group: g,
+				Ms: 100 + rng.Intn(250)}
+		}
+		actions = append(actions, a)
+	}
+	return actions
+}

@@ -1,0 +1,74 @@
+package chaosharness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenDeterministic: Gen must be a pure function of (seed, n, cfg) —
+// the harness's replay-from-seed guarantee rests on it.
+func TestGenDeterministic(t *testing.T) {
+	cfg := GenConfig{Nodes: 4, Groups: 2}
+	a := Gen(42, 300, cfg)
+	b := Gen(42, 300, cfg)
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("streams diverge at action %d: %s vs %s", i, a[i], b[i])
+			}
+		}
+		t.Fatal("streams differ")
+	}
+	if len(a) != 300 {
+		t.Fatalf("got %d actions, want 300", len(a))
+	}
+}
+
+// TestGenSeedsDiffer: different seeds must produce different schedules,
+// otherwise the soak job replays the same run forever.
+func TestGenSeedsDiffer(t *testing.T) {
+	cfg := GenConfig{}
+	if reflect.DeepEqual(Gen(1, 200, cfg), Gen(2, 200, cfg)) {
+		t.Fatal("seeds 1 and 2 generated identical schedules")
+	}
+}
+
+// TestGenCoversAllKinds: with a reasonable stream length every action
+// kind should appear — a generator that can never emit partitions is
+// not testing what it claims to.
+func TestGenCoversAllKinds(t *testing.T) {
+	seen := make(map[ActionKind]int)
+	for _, a := range Gen(7, 500, GenConfig{Nodes: 5, Groups: 2}) {
+		seen[a.Kind]++
+	}
+	for _, k := range []ActionKind{ActMcast, ActJoin, ActLeave, ActKill,
+		ActRestart, ActPartition, ActBlock} {
+		if seen[k] == 0 {
+			t.Errorf("kind %s never generated in 500 actions", k)
+		}
+	}
+}
+
+// TestGenNamesNeverReused: every spawn — join, restart, partition
+// replacement — must use a fresh process name; reusing a PID would
+// collide sequence numbers across incarnations.
+func TestGenNamesNeverReused(t *testing.T) {
+	used := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		used[NodeName(i)] = true
+	}
+	for _, a := range Gen(11, 500, GenConfig{Nodes: 5, Groups: 2}) {
+		switch a.Kind {
+		case ActJoin, ActRestart:
+			if used[a.Node] {
+				t.Fatalf("%s reuses name %s", a, a.Node)
+			}
+			used[a.Node] = true
+		case ActPartition:
+			if used[a.Repl] {
+				t.Fatalf("%s reuses replacement name %s", a, a.Repl)
+			}
+			used[a.Repl] = true
+		}
+	}
+}

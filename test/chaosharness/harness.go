@@ -1,0 +1,381 @@
+// Package chaosharness is the black-box end-to-end chaos harness: it
+// builds the real svs-chaos node binary (cmd/svs-chaos), spawns a
+// cluster of them over real TCP, drives a seeded stream of actions —
+// multicast, join, leave, kill, restart, partition, heal, flow-block —
+// and afterwards replays every node's JSONL event log through the
+// internal/check oracle to verify the paper's §3.2 safety properties
+// across process boundaries.
+//
+// Everything is seeded: Gen(seed, n, cfg) is a pure function from seed
+// to action stream, so any failure is replayable from the seed printed
+// with it.
+package chaosharness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BuildBinary compiles cmd/svs-chaos into dir and returns the binary
+// path. It must run somewhere inside the module tree.
+func BuildBinary(dir string) (string, error) {
+	bin := filepath.Join(dir, "svs-chaos")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/svs-chaos")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("build svs-chaos: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// Options configures a Cluster.
+type Options struct {
+	Bin    string // svs-chaos binary (BuildBinary)
+	LogDir string // JSONL event logs and stderr captures land here
+	K      int    // k-enumeration window
+	Buffer int    // buffer / flow-control window size
+	Seed   int64  // fault-injection seed base (per-node: Seed+index)
+
+	// Heartbeat is the failure-detector beat interval (timeout is 5x);
+	// partitions must outlast the timeout to cause eviction.
+	Heartbeat time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.K <= 0 {
+		o.K = 16
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = 8
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 50 * time.Millisecond
+	}
+}
+
+// Proc is one running (or dead) svs-chaos process.
+type Proc struct {
+	Name    string // its PID on the wire
+	Addr    string // transport listen address
+	Ctl     string // control API base URL
+	LogPath string
+
+	cmd   *exec.Cmd
+	waitC chan error
+}
+
+// Cluster manages the svs-chaos processes of one harness run.
+type Cluster struct {
+	opt Options
+
+	mu     sync.Mutex
+	procs  map[string]*Proc // alive
+	dead   map[string]*Proc // quit or killed (logs retained)
+	killed map[string]bool  // SIGKILLed at least once (oracle synthesis set)
+	nProc  int
+}
+
+// Options returns the cluster's effective options, with defaults
+// applied — the oracle must check with the K the nodes actually ran.
+func (c *Cluster) Options() Options { return c.opt }
+
+// NewCluster returns an empty cluster.
+func NewCluster(opt Options) *Cluster {
+	opt.defaults()
+	return &Cluster{
+		opt:    opt,
+		procs:  make(map[string]*Proc),
+		dead:   make(map[string]*Proc),
+		killed: make(map[string]bool),
+	}
+}
+
+// Start spawns a node named name and waits for its READY line.
+func (c *Cluster) Start(name string) (*Proc, error) {
+	c.mu.Lock()
+	if _, dup := c.procs[name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("node %s already running", name)
+	}
+	c.nProc++
+	seed := c.opt.Seed + int64(c.nProc)
+	c.mu.Unlock()
+
+	logPath := filepath.Join(c.opt.LogDir, name+".jsonl")
+	stderr, err := os.Create(filepath.Join(c.opt.LogDir, name+".stderr"))
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(c.opt.Bin,
+		"-self", name,
+		"-listen", "127.0.0.1:0",
+		"-ctl", "127.0.0.1:0",
+		"-log", logPath,
+		"-k", fmt.Sprint(c.opt.K),
+		"-buffer", fmt.Sprint(c.opt.Buffer),
+		"-seed", fmt.Sprint(seed),
+		"-hb", c.opt.Heartbeat.String(),
+	)
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stderr.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		stderr.Close()
+		return nil, err
+	}
+	waitC := make(chan error, 1)
+	go func() {
+		waitC <- cmd.Wait()
+		stderr.Close()
+	}()
+
+	// Parse the READY line: "READY self=<pid> addr=<a> ctl=<url>".
+	readyC := make(chan *Proc, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "READY ") {
+				continue
+			}
+			p := &Proc{Name: name, LogPath: logPath, cmd: cmd, waitC: waitC}
+			for _, f := range strings.Fields(line)[1:] {
+				if k, v, ok := strings.Cut(f, "="); ok {
+					switch k {
+					case "addr":
+						p.Addr = v
+					case "ctl":
+						p.Ctl = v
+					}
+				}
+			}
+			readyC <- p
+			// Keep draining so the child never blocks on stdout.
+			for sc.Scan() {
+			}
+			return
+		}
+		close(readyC)
+	}()
+
+	select {
+	case p, ok := <-readyC:
+		if !ok || p.Addr == "" || p.Ctl == "" {
+			cmd.Process.Kill()
+			return nil, fmt.Errorf("node %s exited before READY", name)
+		}
+		c.mu.Lock()
+		c.procs[name] = p
+		c.mu.Unlock()
+		return p, nil
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("node %s: no READY line within 30s", name)
+	}
+}
+
+// Proc returns the running node or nil.
+func (c *Cluster) Proc(name string) *Proc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.procs[name]
+}
+
+// Alive returns the names of all running nodes, sorted.
+func (c *Cluster) Alive() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.procs))
+	for n := range c.procs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kill SIGKILLs a node — the crash-stop fault. Its log file survives for
+// the oracle; the name joins the killed set (see Check's synthesis of
+// multicast records lost in the kill window).
+func (c *Cluster) Kill(name string) error {
+	c.mu.Lock()
+	p := c.procs[name]
+	if p == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("kill %s: not running", name)
+	}
+	delete(c.procs, name)
+	c.dead[name] = p
+	c.killed[name] = true
+	c.mu.Unlock()
+	p.cmd.Process.Kill()
+	<-p.waitC
+	return nil
+}
+
+// Quit shuts a node down gracefully (flushing its log); falls back to
+// SIGKILL if it does not exit in time.
+func (c *Cluster) Quit(name string) error {
+	c.mu.Lock()
+	p := c.procs[name]
+	if p == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("quit %s: not running", name)
+	}
+	delete(c.procs, name)
+	c.dead[name] = p
+	c.mu.Unlock()
+	c.post(p, "/quit", nil)
+	select {
+	case <-p.waitC:
+		return nil
+	case <-time.After(15 * time.Second):
+		p.cmd.Process.Kill()
+		<-p.waitC
+		c.mu.Lock()
+		c.killed[name] = true
+		c.mu.Unlock()
+		return fmt.Errorf("quit %s: timed out, killed", name)
+	}
+}
+
+// QuitAll gracefully stops every running node.
+func (c *Cluster) QuitAll() {
+	for _, n := range c.Alive() {
+		c.Quit(n)
+	}
+}
+
+// Logs returns the JSONL log paths of every node that ever ran.
+func (c *Cluster) Logs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p *Proc) {
+		if !seen[p.LogPath] {
+			seen[p.LogPath] = true
+			out = append(out, p.LogPath)
+		}
+	}
+	for _, p := range c.procs {
+		add(p)
+	}
+	for _, p := range c.dead {
+		add(p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Killed returns the set of node names that were SIGKILLed.
+func (c *Cluster) Killed() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.killed))
+	for k, v := range c.killed {
+		out[k] = v
+	}
+	return out
+}
+
+// Introduce pushes the full pid→address map of all running nodes to
+// every running node (idempotent; new nodes need it before joining).
+func (c *Cluster) Introduce() error {
+	c.mu.Lock()
+	peers := make(map[string]string, len(c.procs))
+	ps := make([]*Proc, 0, len(c.procs))
+	for _, p := range c.procs {
+		peers[p.Name] = p.Addr
+		ps = append(ps, p)
+	}
+	c.mu.Unlock()
+	for _, p := range ps {
+		if err := c.post(p, "/peers", map[string]any{"peers": peers}); err != nil {
+			return fmt.Errorf("introduce %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// ---- control API client ----------------------------------------------------
+
+var httpClient = &http.Client{Timeout: 30 * time.Second}
+
+func (c *Cluster) post(p *Proc, path string, body any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := httpClient.Post(p.Ctl+path, "application/json", rd)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s: %s", p.Name, path, resp.Status, strings.TrimSpace(string(out)))
+	}
+	return nil
+}
+
+// Post sends a control request to a running node by name.
+func (c *Cluster) Post(name, path string, body any) error {
+	p := c.Proc(name)
+	if p == nil {
+		return fmt.Errorf("%s: not running", name)
+	}
+	return c.post(p, path, body)
+}
+
+// GroupStats mirrors the driver's /stats response.
+type GroupStats struct {
+	View      uint64   `json:"view"`
+	Members   []string `json:"members"`
+	Joining   bool     `json:"joining"`
+	Expelled  bool     `json:"expelled"`
+	Blocked   bool     `json:"blocked"`
+	Queued    int      `json:"queued"`
+	Sent      uint64   `json:"sent"`
+	McastErrs uint64   `json:"mcast_errs"`
+	Parked    int      `json:"parked"`
+}
+
+// Stats fetches one node's view of one group.
+func (c *Cluster) Stats(name string, group int) (GroupStats, error) {
+	p := c.Proc(name)
+	if p == nil {
+		return GroupStats{}, fmt.Errorf("%s: not running", name)
+	}
+	resp, err := httpClient.Get(fmt.Sprintf("%s/stats?group=%d", p.Ctl, group))
+	if err != nil {
+		return GroupStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		return GroupStats{}, fmt.Errorf("%s/stats: %s: %s", p.Name, resp.Status, strings.TrimSpace(string(out)))
+	}
+	var st GroupStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return GroupStats{}, err
+	}
+	return st, nil
+}

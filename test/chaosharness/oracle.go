@@ -1,0 +1,189 @@
+package chaosharness
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/ident"
+	"repro/internal/obsolete"
+)
+
+// logEvent mirrors the svs-chaos JSONL record.
+type logEvent struct {
+	Ev      string   `json:"ev"` // mcast | deliver | install | expelled
+	P       string   `json:"p"`
+	G       uint32   `json:"g"`
+	View    uint64   `json:"view"`
+	Sender  string   `json:"sender,omitempty"`
+	Seq     uint64   `json:"seq,omitempty"`
+	Annot   string   `json:"annot,omitempty"` // base64
+	Members []string `json:"members,omitempty"`
+}
+
+func (e logEvent) meta() (obsolete.Msg, error) {
+	var annot []byte
+	if e.Annot != "" {
+		b, err := base64.StdEncoding.DecodeString(e.Annot)
+		if err != nil {
+			return obsolete.Msg{}, fmt.Errorf("bad annot %q: %w", e.Annot, err)
+		}
+		annot = b
+	}
+	return obsolete.Msg{Sender: ident.PID(e.Sender), Seq: ident.Seq(e.Seq), Annot: annot}, nil
+}
+
+// Check replays the JSONL event logs of a whole cluster run — one file
+// per process — through the internal/check oracle, one Recorder per
+// group, and returns every safety violation found. rel must be the
+// obsolescence relation the nodes actually ran with (passing a weaker
+// relation, e.g. obsolete.Empty, makes the purging the nodes performed
+// look like message loss — which is exactly how the guard test proves
+// the oracle has teeth).
+//
+// killed is the set of processes that were SIGKILLed: a kill can land
+// between an engine committing a multicast and the driver writing the
+// mcast record, so for killed senders only, multicast records are
+// synthesized from delivery records (which carry the same metadata).
+// Survivor logs get no such leniency — a delivery with no matching
+// mcast record from a live sender is a real integrity violation.
+//
+// Every error is prefixed with the seed so a failing run is replayable
+// straight from the test output.
+func Check(rel obsolete.Relation, logPaths []string, killed map[string]bool, seed int64) []error {
+	type groupState struct {
+		rec *check.Recorder
+		// mcast[id] is set when a real mcast record was seen; deliveries
+		// remember the view a killed sender's message was sent in so
+		// synthesis can reconstruct the record.
+		mcast     map[obsolete.MsgID]bool
+		delivered map[obsolete.MsgID]logEvent
+	}
+	groups := make(map[uint32]*groupState)
+	state := func(g uint32) *groupState {
+		gs := groups[g]
+		if gs == nil {
+			// initView stays 0 (never a real view): founders log an
+			// explicit install of view 1 at creation, and joiners must
+			// not inherit the "initial view is installed implicitly by
+			// everyone" exemption — they were genuinely absent.
+			gs = &groupState{
+				rec:       check.NewRecorder(rel),
+				mcast:     make(map[obsolete.MsgID]bool),
+				delivered: make(map[obsolete.MsgID]logEvent),
+			}
+			groups[g] = gs
+		}
+		return gs
+	}
+
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("seed=%d: "+format, append([]any{seed}, args...)...))
+	}
+
+	for _, path := range logPaths {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("open log: %v", err)
+			continue
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := sc.Bytes()
+			if len(raw) == 0 {
+				continue
+			}
+			var e logEvent
+			if err := json.Unmarshal(raw, &e); err != nil {
+				// A SIGKILL can truncate the final line mid-write; records
+				// are appended in order, so dropping the tail only removes
+				// constraints, never fabricates them. Anything else in the
+				// file is corruption worth reporting.
+				if sc.Scan() {
+					fail("%s:%d: corrupt record mid-file: %v", path, line, err)
+				}
+				break
+			}
+			gs := state(e.G)
+			switch e.Ev {
+			case "mcast":
+				meta, err := e.meta()
+				if err != nil {
+					fail("%s:%d: %v", path, line, err)
+					continue
+				}
+				gs.rec.Multicast(meta, ident.ViewID(e.View))
+				gs.mcast[meta.ID()] = true
+			case "deliver":
+				meta, err := e.meta()
+				if err != nil {
+					fail("%s:%d: %v", path, line, err)
+					continue
+				}
+				gs.rec.Deliver(ident.PID(e.P), meta, ident.ViewID(e.View))
+				if _, ok := gs.delivered[meta.ID()]; !ok {
+					gs.delivered[meta.ID()] = e
+				}
+			case "install":
+				gs.rec.Install(ident.PID(e.P), ident.ViewID(e.View), pidsOf(e.Members))
+			case "expelled":
+				// Informational only: the member's constraints simply end.
+			default:
+				fail("%s:%d: unknown event %q", path, line, e.Ev)
+			}
+		}
+		f.Close()
+	}
+
+	// Synthesis pass for kill windows (see above).
+	gids := make([]uint32, 0, len(groups))
+	for g := range groups {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, g := range gids {
+		gs := groups[g]
+		ids := make([]obsolete.MsgID, 0, len(gs.delivered))
+		for id := range gs.delivered {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].Sender != ids[j].Sender {
+				return ids[i].Sender < ids[j].Sender
+			}
+			return ids[i].Seq < ids[j].Seq
+		})
+		for _, id := range ids {
+			if gs.mcast[id] || !killed[string(id.Sender)] {
+				continue
+			}
+			e := gs.delivered[id]
+			meta, err := e.meta()
+			if err != nil {
+				continue // already reported during the parse
+			}
+			gs.rec.Multicast(meta, ident.ViewID(e.View))
+			gs.mcast[id] = true
+		}
+		for _, err := range gs.rec.Verify() {
+			fail("group=%d: %v", g, err)
+		}
+	}
+	return errs
+}
+
+func pidsOf(names []string) ident.PIDs {
+	out := make(ident.PIDs, 0, len(names))
+	for _, n := range names {
+		out = append(out, ident.PID(n))
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package e2e black-box tests the whole stack: real svs-chaos processes
+// over real TCP, a seeded chaos schedule, and the internal/check oracle
+// replaying every process's event log afterwards.
+//
+// Failures always print the seed; replay with
+//
+//	go test -run TestChaos ./test/e2e/ -args -chaos.seed=<seed> -chaos.actions=<n>
+package e2e
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsolete"
+	"repro/test/chaosharness"
+)
+
+var (
+	chaosActions = flag.Int("chaos.actions", 60, "length of the generated chaos schedule")
+	chaosSeed    = flag.Int64("chaos.seed", 42, "chaos schedule seed (printed on failure for replay)")
+	chaosSoak    = flag.Duration("chaos.duration", 0, "soak mode: repeat runs with successive seeds until this much time has elapsed")
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+func chaosBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "svs-chaos-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		// The directory is leaked for the lifetime of the test binary; it
+		// holds a single executable and the OS reclaims temp space.
+		buildBin, buildErr = chaosharness.BuildBinary(dir)
+	})
+	if buildErr != nil {
+		t.Fatalf("building svs-chaos: %v", buildErr)
+	}
+	return buildBin
+}
+
+// logDir returns where node event logs go: CHAOS_ARTIFACT_DIR if set
+// (CI uploads it on failure), else a per-test temp dir.
+func logDir(t *testing.T, seed int64) string {
+	if base := os.Getenv("CHAOS_ARTIFACT_DIR"); base != "" {
+		dir := filepath.Join(base, fmt.Sprintf("seed-%d", seed))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	return t.TempDir()
+}
+
+// TestChaos is the headline end-to-end run: bootstrap a cluster, expand
+// the seed into a schedule, apply it, flush, and verify every node's
+// log against the paper's §3.2 safety properties.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e spawns real processes; skipped in -short")
+	}
+	if *chaosSoak > 0 {
+		deadline := time.Now().Add(*chaosSoak)
+		for i := 0; ; i++ {
+			seed := *chaosSeed + int64(i)
+			t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+				runChaos(t, seed, *chaosActions)
+			})
+			if t.Failed() || !time.Now().Before(deadline) {
+				return
+			}
+		}
+	}
+	runChaos(t, *chaosSeed, *chaosActions)
+}
+
+func runChaos(t *testing.T, seed int64, nActions int) {
+	replay := fmt.Sprintf("replay: go test -run TestChaos ./test/e2e/ -args -chaos.seed=%d -chaos.actions=%d", seed, nActions)
+	t.Logf("chaos run: seed=%d actions=%d (%s)", seed, nActions, replay)
+
+	opt := chaosharness.Options{
+		Bin:    chaosBinary(t),
+		LogDir: logDir(t, seed),
+		Seed:   seed,
+	}
+	c := chaosharness.NewCluster(opt)
+	defer c.QuitAll()
+
+	cfg := chaosharness.GenConfig{Nodes: 4, Groups: 2}
+	r := &chaosharness.Runner{C: c, Logf: t.Logf}
+	if err := r.Bootstrap(cfg); err != nil {
+		t.Fatalf("bootstrap: %v\n%s", err, replay)
+	}
+	actions := chaosharness.Gen(seed, nActions, cfg)
+	if err := r.Run(actions); err != nil {
+		t.Fatalf("seed=%d: %v\n%s", seed, err, replay)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("seed=%d: final barrier: %v\n%s", seed, err, replay)
+	}
+	c.QuitAll() // flush logs before reading them
+
+	rel := obsolete.KEnumeration{K: c.Options().K}
+	for _, err := range chaosharness.Check(rel, c.Logs(), c.Killed(), seed) {
+		t.Errorf("oracle: %v", err)
+	}
+	if t.Failed() {
+		t.Log(replay)
+	}
+}
+
+// TestChaosDeterministicActions pins the replay guarantee at the e2e
+// level: the schedule the harness will apply for a given seed is
+// bit-identical across expansions.
+func TestChaosDeterministicActions(t *testing.T) {
+	cfg := chaosharness.GenConfig{Nodes: 4, Groups: 2}
+	a := chaosharness.Gen(*chaosSeed, *chaosActions, cfg)
+	b := chaosharness.Gen(*chaosSeed, *chaosActions, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("seed %d expanded to two different schedules", *chaosSeed)
+	}
+}
+
+// TestChaosOracleCatchesInjectedBug proves the oracle has teeth. A
+// scripted run forces semantic purging (a blocked consumer + a chained
+// obsolescence stream), which is safe under the k-enumeration relation
+// the nodes ran with — but re-checking the same logs under
+// obsolete.Empty (as if purging covered nothing) must surface SVS
+// violations naming the seed and the offending view. If disabling
+// purge coverage does NOT trip the oracle, the oracle is vacuous.
+func TestChaosOracleCatchesInjectedBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e spawns real processes; skipped in -short")
+	}
+	const seed = 1
+	opt := chaosharness.Options{
+		Bin:    chaosBinary(t),
+		LogDir: logDir(t, seed),
+		Seed:   seed,
+		Buffer: 4, // small windows so the blocked consumer forces purging fast
+	}
+	c := chaosharness.NewCluster(opt)
+	defer c.QuitAll()
+
+	cfg := chaosharness.GenConfig{Nodes: 3, Groups: 1}
+	r := &chaosharness.Runner{C: c, Logf: t.Logf}
+	if err := r.Bootstrap(cfg); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+
+	// Block n02's delivery pump, then pour a chained-obsolescence stream
+	// at it: flow control fills, and the sender purges obsolete messages
+	// n02 will consequently never receive.
+	if err := c.Post("n02", "/block", map[string]any{"group": 1, "blocked": true}); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 120
+	if err := c.Post("n00", "/multicast", map[string]any{"group": 1, "count": burst}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "n00 to send the burst", func() bool {
+		st, err := c.Stats("n00", 1)
+		return err == nil && st.Sent >= burst
+	})
+	if err := c.Post("n02", "/block", map[string]any{"group": 1, "blocked": false}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A join forces a view change, so every member logs an install — the
+	// anchor the SVS and FIFO-SR checks hang their constraints on.
+	if err := r.Run([]chaosharness.Action{{Kind: chaosharness.ActJoin, Node: "n03", Group: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("final barrier: %v", err)
+	}
+	c.QuitAll()
+
+	// Under the relation the nodes actually ran with, the run is safe.
+	rel := obsolete.KEnumeration{K: c.Options().K}
+	if errs := chaosharness.Check(rel, c.Logs(), c.Killed(), seed); len(errs) != 0 {
+		for _, err := range errs {
+			t.Errorf("unexpected violation under the real relation: %v", err)
+		}
+	}
+
+	// Under Empty, the purging the nodes performed is unexcused loss.
+	errs := chaosharness.Check(obsolete.Empty{}, c.Logs(), c.Killed(), seed)
+	if len(errs) == 0 {
+		t.Fatal("oracle reported no violations with purge coverage disabled — it is vacuous")
+	}
+	found := false
+	for _, err := range errs {
+		s := err.Error()
+		if strings.Contains(s, fmt.Sprintf("seed=%d", seed)) && strings.Contains(s, "view") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("violations lack the seed and offending view; first: %v", errs[0])
+	}
+	t.Logf("oracle correctly flagged %d violations with coverage disabled; first: %v", len(errs), errs[0])
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
