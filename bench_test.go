@@ -699,6 +699,210 @@ func benchMultiGroup(b *testing.B, members, groups, buffer int, tcp bool) {
 	}
 }
 
+// ---- saturation: the batched data plane at full tilt ------------------------
+
+// satBatch is the submission granularity of the saturation producers: the
+// amortisation unit of the batched data plane (one request round-trip, one
+// coalesced envelope per peer, one purge pass per message).
+const satBatch = 64
+
+// chainAnnot precomputes the steady-state k-enumeration annotation of a
+// chain workload (every message directly obsoletes its predecessor): after
+// k messages the transitively closed bitmap is constant all-ones, so one
+// shared byte slice serves every message — the producer hot loop mints
+// metadata without allocating.
+func chainAnnot(k int) []byte {
+	tr := obsolete.NewKTracker(k)
+	seq, annot := tr.Next()
+	for i := 0; i < k+1; i++ {
+		seq, annot = tr.Next(seq)
+	}
+	return annot
+}
+
+// saturationNodes is multiGroupNodes with the batched data plane on both
+// ends: consumers pull through DeliverBatch into reused buffers, and the
+// caller drives producers through MulticastBatch. It returns the per-group
+// producer handles for the first `senders` members plus every group of
+// every member (for quiescence polling).
+func saturationNodes(b *testing.B, members, groups, senders, buffer int, tcp bool) (producers [][]*core.Group, all []*core.Group, stop func()) {
+	b.Helper()
+	var pids []ident.PID
+	for i := 0; i < members; i++ {
+		pids = append(pids, ident.PID(fmt.Sprintf("p%d", i)))
+	}
+	set := ident.NewPIDs(pids...)
+	view := core.View{ID: 1, Members: set}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	eps := multiGroupEndpoints(b, set, tcp)
+	var nodes []*core.Node
+	var dets []*fd.Manual
+	var wg sync.WaitGroup
+	producers = make([][]*core.Group, senders)
+	for mi, p := range set {
+		ep := eps[p]
+		det := fd.NewManual()
+		node, err := core.NewNode(core.NodeConfig{Self: p, Endpoint: ep, Detector: det})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		dets = append(dets, det)
+		for gid := ident.GroupID(1); gid <= ident.GroupID(groups); gid++ {
+			g, err := node.Create(gid, core.GroupConfig{
+				InitialView: view, Relation: obsolete.KEnumeration{K: 2 * buffer},
+				ToDeliverCap: buffer, OutgoingCap: buffer, Window: buffer,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			all = append(all, g)
+			if mi < senders {
+				producers[mi] = append(producers[mi], g)
+			}
+			wg.Add(1)
+			go func(g *core.Group) {
+				defer wg.Done()
+				dst := make([]core.Delivery, 256)
+				for {
+					if _, err := g.DeliverBatch(ctx, dst); err != nil {
+						return
+					}
+				}
+			}(g)
+		}
+	}
+	stop = func() {
+		cancel()
+		for _, n := range nodes {
+			n.Close()
+		}
+		wg.Wait()
+		for _, d := range dets {
+			d.Stop()
+		}
+	}
+	return producers, all, stop
+}
+
+// waitQuiesce polls every group's stats until nothing changes anywhere and
+// all delivery queues are drained: the run's traffic has fully landed.
+func waitQuiesce(b *testing.B, all []*core.Group) {
+	b.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var prev []core.Stats
+	stable := 0
+	for stable < 2 {
+		if time.Now().After(deadline) {
+			b.Fatal("cluster never quiesced")
+		}
+		cur := make([]core.Stats, 0, len(all))
+		drained := true
+		for _, g := range all {
+			st := g.Stats()
+			if st.ToDeliverLen != 0 {
+				drained = false
+			}
+			cur = append(cur, st)
+		}
+		same := drained && prev != nil && len(prev) == len(cur)
+		if same {
+			for i := range cur {
+				if cur[i] != prev[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			stable++
+		} else {
+			stable = 0
+		}
+		prev = cur
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkSaturation is the headline throughput series of the batched
+// data plane: every stage — submission, commit, wire, receive, delivery —
+// runs at batch granularity, with a chain obsolescence workload (purge
+// keeps every queue O(1), the regime SVS is built for). b.N counts
+// messages per (group, sender); agg-msgs/s is the node-aggregate multicast
+// throughput including full quiescence (all traffic received everywhere),
+// and allocs/op is the steady-state allocation cost per message on the
+// semantic batched path — the 0-allocs/op acceptance gate of the data
+// plane (see scripts/bench.sh and the bench-smoke CI job).
+func BenchmarkSaturation(b *testing.B) {
+	const buffer = 1024
+	cases := []struct {
+		net             string
+		members, groups int
+		senders         int
+	}{
+		{"mem", 2, 1, 1},
+		{"mem", 2, 4, 1},
+		{"mem", 2, 16, 1},
+		{"mem", 4, 1, 1},
+		{"mem", 4, 1, 4},
+		{"tcp", 2, 1, 1},
+		{"tcp", 2, 4, 1},
+	}
+	for _, c := range cases {
+		c := c
+		name := fmt.Sprintf("net=%s/members=%d/groups=%d/senders=%d", c.net, c.members, c.groups, c.senders)
+		b.Run(name, func(b *testing.B) {
+			benchSaturation(b, c.members, c.groups, c.senders, buffer, c.net == "tcp")
+		})
+	}
+}
+
+func benchSaturation(b *testing.B, members, groups, senders, buffer int, tcp bool) {
+	producers, all, stop := saturationNodes(b, members, groups, senders, buffer, tcp)
+	defer stop()
+	annot := chainAnnot(2 * buffer)
+	payload := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for si := range producers {
+		self := ident.PID(fmt.Sprintf("p%d", si))
+		for _, g := range producers[si] {
+			wg.Add(1)
+			go func(g *core.Group) {
+				defer wg.Done()
+				ctx := context.Background()
+				batch := make([]core.OutMsg, satBatch)
+				for i := range batch {
+					batch[i].Payload = payload
+				}
+				var seq ident.Seq
+				for sent := 0; sent < b.N; {
+					n := satBatch
+					if rem := b.N - sent; n > rem {
+						n = rem
+					}
+					for i := 0; i < n; i++ {
+						seq++
+						batch[i].Meta = obsolete.Msg{Sender: self, Seq: seq, Annot: annot}
+					}
+					if _, err := g.MulticastBatch(ctx, batch[:n]); err != nil {
+						b.Error(err)
+						return
+					}
+					sent += n
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+	waitQuiesce(b, all)
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N*groups*senders)/elapsed.Seconds(), "agg-msgs/s")
+}
+
 // BenchmarkJoinStateTransfer measures the cost of bringing a newcomer
 // into a running 3-member group after a 512-message session. The state
 // transfer ships only the relation-purged unstable backlog, so under the

@@ -26,6 +26,9 @@ const (
 	// the semantic state transfer that admits it.
 	TJoinReqMsg
 	TStateMsg
+	// TDataBatchMsg coalesces a run of DataMsgs from one sender into a
+	// single envelope (internal/core's batched data plane).
+	TDataBatchMsg
 
 	// TTestA and TTestB are reserved for package tests.
 	TTestA TypeID = 250

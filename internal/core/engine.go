@@ -70,7 +70,28 @@ type Engine struct {
 	delivered *queue.Queue // current-view delivery history (for pred sets)
 	recvMax   map[ident.PID]ident.Seq
 	lastSent  ident.Seq
-	stalled   *DataMsg // one arrival awaiting queue space (flow control)
+
+	// pendingHead is one arrival that passed every receive check (its
+	// credit is charged and its purges applied) but found the delivery
+	// queue full; it occupies the reserved stall slot until space frees.
+	// pendingRest holds the raw, unprocessed remainder of a batched
+	// receive behind it (consumed from pendingPos), so per-sender FIFO
+	// survives batch arrivals; the data inbox stays gated while either is
+	// non-empty. pumpingPending breaks the serveDeliveries → retryPending
+	// → acceptData recursion: only the outermost retryPending drains.
+	pendingHead    *DataMsg
+	pendingRest    []DataMsg
+	pendingPos     int
+	pumpingPending bool
+
+	// stage accumulates the per-peer sends of the multicast transaction
+	// being committed (advance); flushStage coalesces each peer's run
+	// into one DataBatchMsg envelope. stageHint sizes the first append.
+	// committing guards against retryParked interleaving another request
+	// into a half-committed batch (the seq precheck would mis-fire).
+	stage      map[ident.PID][]DataMsg
+	stageHint  int
+	committing bool
 
 	join         ident.PIDs
 	leave        ident.PIDs
@@ -96,6 +117,11 @@ type Engine struct {
 	// allocates nothing per call.
 	purgeScratch []queue.Item
 
+	// viewDirty marks the loop-owned view as newer than the facade
+	// snapshot, so syncSnapshots clones it only when it actually changed
+	// instead of allocating on every loop iteration.
+	viewDirty bool
+
 	stats Stats
 }
 
@@ -107,14 +133,25 @@ const (
 	reqViewChange
 )
 
+// OutMsg is one message of a MulticastBatch: the tracker-minted metadata
+// and its payload. The payload slice is borrowed by the engine until the
+// call returns (see Engine.MulticastBatch).
+type OutMsg struct {
+	Meta    obsolete.Msg
+	Payload []byte
+}
+
 type request struct {
 	kind reqKind
 	ctx  context.Context
 
-	meta    obsolete.Msg // multicast
+	meta    obsolete.Msg // single multicast
 	payload []byte
+	batch   []OutMsg   // batched multicast (nil for a single; meta/payload unused)
+	done    int        // committed prefix of batch (mid-batch park progress)
 	join    ident.PIDs // view change
 	leave   ident.PIDs
+	dst     []Delivery // batched deliver destination (nil for a single)
 
 	// parkedAt stamps a multicast entering the parked queue, so the flow
 	// control stall it suffered can be observed at commit (parkDur). Zero
@@ -124,6 +161,34 @@ type request struct {
 	errC chan error    // view change / deliver failure reply
 	mcC  chan mcResult // multicast reply
 	delC chan Delivery // deliver reply
+	nC   chan int      // batched deliver reply (count filled into dst)
+}
+
+// batchLen is the number of messages this multicast request carries.
+func (req *request) batchLen() int {
+	if req.batch == nil {
+		return 1
+	}
+	return len(req.batch)
+}
+
+// msgAt returns message i of the request.
+func (req *request) msgAt(i int) (obsolete.Msg, []byte) {
+	if req.batch == nil {
+		return req.meta, req.payload
+	}
+	return req.batch[i].Meta, req.batch[i].Payload
+}
+
+// curSeq is the sequence number of the next message to commit (events).
+func (req *request) curSeq() ident.Seq {
+	if req.batch == nil {
+		return req.meta.Seq
+	}
+	if req.done < len(req.batch) {
+		return req.batch[req.done].Meta.Seq
+	}
+	return 0
 }
 
 // mcResult reports the outcome of a multicast: the view in which the
@@ -144,6 +209,7 @@ var requestPool = sync.Pool{New: func() any {
 		mcC:  make(chan mcResult, 1),
 		delC: make(chan Delivery, 1),
 		errC: make(chan error, 1),
+		nC:   make(chan int, 1),
 	}
 }}
 
@@ -158,8 +224,11 @@ func putRequest(req *request) {
 	req.ctx = nil
 	req.meta = obsolete.Msg{}
 	req.payload = nil
+	req.batch = nil
+	req.done = 0
 	req.join = nil
 	req.leave = nil
+	req.dst = nil
 	req.parkedAt = time.Time{}
 	requestPool.Put(req)
 }
@@ -281,6 +350,44 @@ func (e *Engine) Multicast(ctx context.Context, meta obsolete.Msg, payload []byt
 	}
 }
 
+// MulticastBatch submits a run of data messages in one request round-trip
+// through the protocol loop: one channel operation, one wakeup and one
+// staged send flush cover the whole run, and each peer receives the run
+// as a single coalesced envelope. Semantically it is exactly equivalent
+// to calling Multicast once per message in order — every message is
+// individually flow-controlled, purge-checked and sequence-checked, and a
+// view change may land between two messages of the batch.
+//
+// msgs (and its payload slices) are borrowed by the engine until the call
+// returns; the caller must not mutate them meanwhile and may reuse them
+// freely afterwards. The call blocks until every message has committed.
+// On success it returns the view the last message was sent in. On error,
+// messages preceding the failure were committed and sent; the failed
+// message and everything after it were not.
+func (e *Engine) MulticastBatch(ctx context.Context, msgs []OutMsg) (ident.ViewID, error) {
+	if len(msgs) == 0 {
+		e.mu.Lock()
+		v := e.curView.ID
+		e.mu.Unlock()
+		return v, nil
+	}
+	req := getRequest(reqMulticast, ctx)
+	req.batch = msgs
+	if err := e.submit(ctx, req); err != nil {
+		putRequest(req) // never reached the loop
+		return 0, err
+	}
+	select {
+	case res := <-req.mcC:
+		putRequest(req)
+		return res.view, res.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-e.doneC:
+		return 0, ErrStopped
+	}
+}
+
 // Deliver returns the next item of the delivery queue (transition t1),
 // blocking until one is available. This pull interface is deliberate: the
 // paper uses a down-call style "to ensure that messages not being
@@ -302,6 +409,40 @@ func (e *Engine) Deliver(ctx context.Context) (Delivery, error) {
 		return Delivery{}, ctx.Err()
 	case <-e.doneC:
 		return Delivery{}, ErrStopped
+	}
+}
+
+// DeliverBatch fills dst with as many immediately available deliveries as
+// it holds, blocking until at least one is available (or ctx is done or
+// the engine stops), and returns the number filled. One request
+// round-trip through the protocol loop drains a whole run of the delivery
+// queue — the pull-style counterpart of MulticastBatch.
+//
+// dst is written by the protocol loop; if the call returns early on ctx
+// cancellation the loop may still fill dst afterwards, so a cancelled
+// call's dst must not be reused until the engine stops. (Cancellation is
+// intended for shutdown, where that is moot.)
+func (e *Engine) DeliverBatch(ctx context.Context, dst []Delivery) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	req := getRequest(reqDeliver, ctx)
+	req.dst = dst
+	if err := e.submit(ctx, req); err != nil {
+		putRequest(req)
+		return 0, err
+	}
+	select {
+	case n := <-req.nC:
+		putRequest(req)
+		return n, nil
+	case err := <-req.errC:
+		putRequest(req)
+		return 0, err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-e.doneC:
+		return 0, ErrStopped
 	}
 }
 
@@ -346,11 +487,18 @@ func (e *Engine) submit(ctx context.Context, req *request) error {
 	}
 }
 
-// run is the protocol loop: a single goroutine owning all state.
+// reqDrainCap bounds the greedy request drain per loop iteration, so a
+// firehose of submitters cannot starve the network-facing cases.
+const reqDrainCap = 256
+
+// run is the protocol loop: a single goroutine owning all state. Both
+// inboxes are consumed in batch mode: one receive hands the loop every
+// envelope pending for the channel, amortising the wakeup and the
+// per-iteration snapshot mirror over the whole run.
 func (e *Engine) run() {
 	defer close(e.doneC)
-	dataIn := e.cfg.Endpoint.Inbox(e.cfg.Group, transport.Data)
-	ctlIn := e.cfg.Endpoint.Inbox(e.cfg.Group, transport.Ctl)
+	dataIn := e.cfg.Endpoint.InboxBatch(e.cfg.Group, transport.Data)
+	ctlIn := e.cfg.Endpoint.InboxBatch(e.cfg.Group, transport.Ctl)
 	fdEv := e.cfg.Detector.Events()
 	var stabC <-chan time.Time
 	if e.stabTick != nil {
@@ -367,10 +515,11 @@ func (e *Engine) run() {
 	}
 
 	for {
-		// Flow control: while blocked, stalled, expelled or still joining,
-		// leave data in the transport; senders run out of credits and stop.
+		// Flow control: while blocked, expelled, still joining, or holding
+		// unprocessed arrivals, leave data in the transport; senders run
+		// out of credits and stop.
 		dataC := dataIn
-		if e.blocked || e.expelled || e.joining || e.stalled != nil || e.toDeliver.Full() {
+		if e.dataGated() {
 			dataC = nil
 		}
 		// Re-fetched every iteration: each backoff step arms a fresh timer.
@@ -382,18 +531,20 @@ func (e *Engine) run() {
 		case <-e.stopC:
 			e.shutdown()
 			return
-		case env, ok := <-dataC:
+		case envs, ok := <-dataC:
 			if !ok {
 				dataIn = nil
 				break
 			}
-			e.onData(env)
-		case env, ok := <-ctlIn:
+			e.onDataBatch(envs)
+		case envs, ok := <-ctlIn:
 			if !ok {
 				ctlIn = nil
 				break
 			}
-			e.onCtl(env)
+			for i := range envs {
+				e.onCtl(envs[i])
+			}
 		case ev, ok := <-fdEv:
 			if !ok {
 				fdEv = nil
@@ -402,6 +553,7 @@ func (e *Engine) run() {
 			e.onSuspicion(ev)
 		case req := <-e.reqC:
 			e.onRequest(req)
+			e.drainRequests()
 		case dec := <-e.decC:
 			e.onDecision(dec)
 		case <-stabC:
@@ -410,6 +562,29 @@ func (e *Engine) run() {
 			e.onJoinRetry()
 		}
 		e.syncSnapshots()
+	}
+}
+
+// dataGated reports whether the loop must leave data arrivals in the
+// transport: group blocked, this process expelled or still joining, a
+// previous arrival waiting for queue space, or no space to begin with.
+func (e *Engine) dataGated() bool {
+	return e.blocked || e.expelled || e.joining ||
+		e.pendingHead != nil || e.pendingPos < len(e.pendingRest) ||
+		e.toDeliver.Full()
+}
+
+// drainRequests opportunistically serves whatever else is already sitting
+// in reqC after a request wakes the loop, so concurrent single-message
+// callers get batch amortisation without using the batch APIs.
+func (e *Engine) drainRequests() {
+	for i := 0; i < reqDrainCap; i++ {
+		select {
+		case req := <-e.reqC:
+			e.onRequest(req)
+		default:
+			return
+		}
 	}
 }
 
@@ -508,7 +683,13 @@ func (e *Engine) syncSnapshots() {
 	e.m.purgedQ.Set(int64(e.stats.PurgedToDeliver))
 	e.m.parkedG.Set(int64(e.stats.Parked))
 	e.mu.Lock()
-	e.curView = e.cv.Clone()
+	if e.viewDirty {
+		// Clone only when the view actually changed: the facade keeps its
+		// own copy, and cloning per loop iteration would put a members
+		// alloc on the per-batch hot path.
+		e.curView = e.cv.Clone()
+		e.viewDirty = false
+	}
 	e.curStats = e.stats
 	e.mu.Unlock()
 }

@@ -130,29 +130,40 @@ func (f *flowState) freed(p ident.PID, e *Engine) {
 	}
 }
 
-// drainOutgoing flushes the pending queue towards p while credits last.
-// The head is only popped once its send is paid for: a message must never
-// be lost between PopHead and takeCredit.
+// drainOutgoing flushes the pending queue towards p while credits last,
+// coalescing the whole run into one DataBatchMsg envelope. The head is
+// only popped once its send is paid for: a message must never be lost
+// between PopHead and takeCredit.
 func (e *Engine) drainOutgoing(p ident.PID) {
 	out := e.flow.pending(p)
 	if out == nil {
 		return
 	}
+	var run []DataMsg
 	for {
 		it, ok := out.PeekHead()
 		if !ok {
-			return
+			break
 		}
 		if it.View != uint64(e.cv.ID) {
 			out.PopHead() // stale: the view changed while it waited
 			continue
 		}
 		if !e.flow.takeCredit(p) {
-			return // out of credits: the head stays parked
+			break // out of credits: the head stays parked
 		}
 		out.PopHead()
-		e.send(p, transport.Data, DataMsg{
+		run = append(run, DataMsg{
 			View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload,
 		})
+	}
+	switch len(run) {
+	case 0:
+	case 1:
+		e.send(p, transport.Data, run[0])
+	default:
+		// The slice is handed to the transport (fault injection may
+		// duplicate the envelope), so ownership transfers with the send.
+		e.send(p, transport.Data, &DataBatchMsg{Msgs: run})
 	}
 }

@@ -117,7 +117,16 @@ func TestDrainOutgoingNeverDropsWithoutCredit(t *testing.T) {
 		for {
 			select {
 			case env := <-inbox:
-				got = append(got, env.Msg.(DataMsg).Meta.Seq)
+				switch m := env.Msg.(type) {
+				case DataMsg:
+					got = append(got, m.Meta.Seq)
+				case *DataBatchMsg:
+					for _, dm := range m.Msgs {
+						got = append(got, dm.Meta.Seq)
+					}
+				default:
+					t.Fatalf("unexpected data-channel message %T", env.Msg)
+				}
 			case <-time.After(50 * time.Millisecond):
 				return got
 			}

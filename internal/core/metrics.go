@@ -50,6 +50,9 @@ type engMetrics struct {
 	viewChange     *obs.Histogram // block (t5) -> install (t7)
 	joinDur        *obs.Histogram // Start -> first installed view (joiner)
 	parkDur        *obs.Histogram // multicast park -> commit (flow control)
+
+	// Data-plane batching.
+	batchSize *obs.Histogram // messages committed per multicast transaction
 }
 
 func newEngMetrics(ob *obs.Obs) engMetrics {
@@ -92,5 +95,7 @@ func newEngMetrics(ob *obs.Obs) engMetrics {
 		viewChange:     ob.Histogram("engine_view_change_seconds", obs.DurationBuckets),
 		joinDur:        ob.Histogram("engine_join_seconds", obs.DurationBuckets),
 		parkDur:        ob.Histogram("engine_multicast_park_seconds", obs.DurationBuckets),
+
+		batchSize: ob.Histogram("engine_batch_size", obs.CountBuckets),
 	}
 }

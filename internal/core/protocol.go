@@ -37,17 +37,58 @@ func (e *Engine) onMulticastReq(req *request) {
 		e.park(req)
 		return
 	}
-	if err := e.multicastPrecheck(req); err != nil {
-		req.mcC <- mcResult{err: err}
-		return
-	}
-	// Park while the group is blocked or buffers lack room; install,
-	// credit arrivals and deliveries retry the queue head.
-	if e.blocked || !e.canCommit(req) {
+	e.committing = true
+	done := e.advance(req)
+	e.committing = false
+	if !done {
 		e.park(req)
-		return
 	}
-	e.commitMulticast(req)
+	// Committing (and the purges it caused) may have unblocked the
+	// parked queue; the inner retries were suppressed by the guard.
+	e.retryParked()
+}
+
+// advance commits as many of req's messages as flow control and buffer
+// room allow, staging the per-peer copies and flushing them as one
+// coalesced envelope per peer. It returns false when the request must
+// (stay) park(ed): the committed prefix is recorded in req.done, so a
+// resumed request continues exactly where it stopped — semantically the
+// batch behaves as that many individual multicasts back to back.
+//
+// Callers hold e.committing around the call: commitOne's delivery serving
+// re-enters retryParked, and interleaving another request into this
+// half-committed transaction would trip its sequence precheck.
+func (e *Engine) advance(req *request) bool {
+	n := req.batchLen()
+	for req.done < n {
+		meta, payload := req.msgAt(req.done)
+		if err := e.multicastPrecheck(meta); err != nil {
+			// Fail the message and the rest of the batch; the committed
+			// prefix stands (documented in MulticastBatch).
+			e.flushStage()
+			req.mcC <- mcResult{err: err}
+			return true
+		}
+		// Park while the group is blocked or buffers lack room; install,
+		// credit arrivals and deliveries retry the queue head.
+		if e.blocked || !e.canCommit(meta, payload) {
+			e.flushStage()
+			return false
+		}
+		e.stageHint = n - req.done
+		e.commitOne(meta, payload)
+		req.done++
+	}
+	e.flushStage()
+	e.m.batchSize.Observe(float64(n))
+	if !req.parkedAt.IsZero() {
+		stalled := e.clock.Since(req.parkedAt)
+		e.m.parkDur.ObserveDuration(stalled)
+		e.ev.FlowUnblocked(uint64(e.lastSent), stalled)
+		req.parkedAt = time.Time{}
+	}
+	req.mcC <- mcResult{view: e.cv.ID}
+	return true
 }
 
 // park appends a multicast to the flow-control wait queue, stamping the
@@ -57,12 +98,12 @@ func (e *Engine) park(req *request) {
 	e.m.parks.Inc()
 	if req.parkedAt.IsZero() && (e.m.parkDur != nil || e.ev != nil) {
 		req.parkedAt = e.clock.Now()
-		e.ev.FlowBlocked(uint64(req.meta.Seq))
+		e.ev.FlowBlocked(uint64(req.curSeq()))
 	}
 	e.multicastQ = append(e.multicastQ, req)
 }
 
-func (e *Engine) multicastPrecheck(req *request) error {
+func (e *Engine) multicastPrecheck(meta obsolete.Msg) error {
 	if e.joinFailed {
 		return ErrJoinTimeout
 	}
@@ -72,7 +113,7 @@ func (e *Engine) multicastPrecheck(req *request) error {
 	if !e.cv.Includes(e.cfg.Self) {
 		return ErrNotMember
 	}
-	if req.meta.Seq != e.lastSent+1 {
+	if meta.Seq != e.lastSent+1 {
 		return ErrBadSeq
 	}
 	return nil
@@ -82,8 +123,8 @@ func (e *Engine) multicastPrecheck(req *request) error {
 // buffered, counting the entries its arrival would purge. The check is
 // all-or-nothing: no queue is touched unless every queue fits, so a parked
 // multicast never half-purges state it has not yet committed to send.
-func (e *Engine) canCommit(req *request) bool {
-	it := e.dataItem(req)
+func (e *Engine) canCommit(meta obsolete.Msg, payload []byte) bool {
+	it := e.dataItem(meta, payload)
 	if fullAfterPurge(e.toDeliver, it) {
 		return false
 	}
@@ -105,19 +146,21 @@ func fullAfterPurge(q *queue.Queue, it queue.Item) bool {
 	return q.Len()-q.CountPurgeableFor(it) >= q.Cap()
 }
 
-func (e *Engine) dataItem(req *request) queue.Item {
-	meta := req.meta
+func (e *Engine) dataItem(meta obsolete.Msg, payload []byte) queue.Item {
 	meta.Sender = e.cfg.Self
 	return queue.Item{
 		Kind:    queue.Data,
 		View:    uint64(e.cv.ID),
 		Meta:    meta,
-		Payload: req.payload,
+		Payload: payload,
 	}
 }
 
-func (e *Engine) commitMulticast(req *request) {
-	it := e.dataItem(req)
+// commitOne commits a single message of the transaction advance drives:
+// local append (with its purges), per-peer staging, counters. Room in
+// every queue is guaranteed by canCommit.
+func (e *Engine) commitOne(meta obsolete.Msg, payload []byte) {
+	it := e.dataItem(meta, payload)
 	dm := DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload}
 	if e.m.deliverLatency != nil {
 		it.At = e.clock.Now()
@@ -130,26 +173,26 @@ func (e *Engine) commitMulticast(req *request) {
 		if p == e.cfg.Self {
 			continue
 		}
-		e.sendData(p, dm)
+		e.stageData(p, dm)
 	}
 	e.stats.Multicast++
 	e.m.multicast.Inc()
-	if !req.parkedAt.IsZero() {
-		stalled := e.clock.Since(req.parkedAt)
-		e.m.parkDur.ObserveDuration(stalled)
-		e.ev.FlowUnblocked(uint64(req.meta.Seq), stalled)
-		req.parkedAt = time.Time{}
-	}
 	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
-	req.mcC <- mcResult{view: e.cv.ID}
 	e.serveDeliveries()
 }
 
-// sendData transmits dm to p, or buffers it in the per-peer outgoing queue
-// when p is out of window credits.
-func (e *Engine) sendData(p ident.PID, dm DataMsg) {
+// stageData stages dm for transmission to p, or buffers it in the
+// per-peer outgoing queue when p is out of window credits.
+func (e *Engine) stageData(p ident.PID, dm DataMsg) {
 	if e.flow.takeCredit(p) {
-		e.send(p, transport.Data, dm)
+		if e.stage == nil {
+			e.stage = make(map[ident.PID][]DataMsg)
+		}
+		s := e.stage[p]
+		if s == nil {
+			s = make([]DataMsg, 0, e.stageHint)
+		}
+		e.stage[p] = append(s, dm)
 		return
 	}
 	out := e.flow.pending(p)
@@ -160,28 +203,84 @@ func (e *Engine) sendData(p ident.PID, dm DataMsg) {
 	out.ForceAppend(it) // room guaranteed by canCommit
 }
 
-// ---- t3: receive data ----------------------------------------------------
-
-func (e *Engine) onData(env transport.Envelope) {
-	dm, ok := env.Msg.(DataMsg)
-	if !ok {
-		// A data-channel envelope that is not a DataMsg: miscoded or
-		// hostile peer. This was an entirely silent discard before.
-		e.m.dropBadType.Inc()
-		e.ev.Drop(obs.DropBadType, slog.String("from", string(env.From)))
+// flushStage transmits every staged per-peer run: a single message goes
+// out as a plain DataMsg, a longer run as one DataBatchMsg envelope. The
+// staged slices are handed to the transport (the decode side aliases
+// nothing, and fault injection may duplicate the envelope), so each flush
+// hands off ownership and the next transaction starts slices afresh.
+func (e *Engine) flushStage() {
+	if len(e.stage) == 0 {
 		return
 	}
+	for p, msgs := range e.stage {
+		switch len(msgs) {
+		case 0:
+		case 1:
+			e.stage[p] = nil
+			e.send(p, transport.Data, msgs[0])
+		default:
+			e.stage[p] = nil
+			e.send(p, transport.Data, &DataBatchMsg{Msgs: msgs})
+		}
+	}
+}
+
+// ---- t3: receive data ----------------------------------------------------
+
+// onDataBatch processes one batched receive from the data inbox. Each
+// envelope carries either a single DataMsg or a DataBatchMsg run; both
+// routes go through ingestData per message, so batching never changes a
+// message's fate — only how many channel operations it shared.
+func (e *Engine) onDataBatch(envs []transport.Envelope) {
+	for i := range envs {
+		switch m := envs[i].Msg.(type) {
+		case DataMsg:
+			e.ingestData(m)
+		case *DataBatchMsg:
+			for j := range m.Msgs {
+				e.ingestData(m.Msgs[j])
+			}
+		default:
+			// A data-channel envelope that is not data: miscoded or
+			// hostile peer. This was an entirely silent discard before.
+			e.m.dropBadType.Inc()
+			e.ev.Drop(obs.DropBadType, slog.String("from", string(envs[i].From)))
+		}
+	}
+}
+
+// ingestData routes one arrival: process it now, or — when an earlier
+// arrival of this batch is already waiting for queue space — stash it
+// raw behind it, preserving per-sender FIFO. (The data inbox is gated
+// while anything is pending, so the stash is bounded by one batched
+// receive.)
+func (e *Engine) ingestData(dm DataMsg) {
+	if e.pendingHead != nil || e.pendingPos < len(e.pendingRest) {
+		e.pendingRest = append(e.pendingRest, dm)
+		return
+	}
+	if !e.processData(dm) {
+		h := dm
+		e.pendingHead = &h
+	}
+}
+
+// processData runs the t3 receive checks for one arrival. It returns
+// false only when the message passed every check (and its credit charge
+// and purges were applied) but the delivery queue is full — the caller
+// keeps it as pendingHead until space frees.
+func (e *Engine) processData(dm DataMsg) bool {
 	if e.expelled {
 		e.m.dropExpelled.Inc()
-		return
+		return true
 	}
 	if dm.View != e.cv.ID {
 		e.stats.DroppedStale++
 		e.m.dropStale.Inc()
-		return
+		return true
 	}
 	if dm.Meta.Sender == e.cfg.Self {
-		return // never accept echoes of our own stream
+		return true // never accept echoes of our own stream
 	}
 	// Whatever happens to it next, this arrival consumed one of the
 	// credits we granted its sender (receiver-side ledger, flow.go).
@@ -197,17 +296,17 @@ func (e *Engine) onData(env transport.Envelope) {
 		e.stats.DroppedCovered++
 		e.m.dropCovered.Inc()
 		e.flow.freed(dm.Meta.Sender, e)
-		return
+		return true
 	}
 	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
 	e.purgeToDeliver(it)
 	if e.toDeliver.Full() {
 		// Keep the arrival in the one reserved stall slot; the data inbox
 		// stays closed until space frees, so per-sender FIFO holds.
-		e.stalled = &dm
-		return
+		return false
 	}
 	e.acceptData(it)
+	return true
 }
 
 func (e *Engine) acceptData(it queue.Item) {
@@ -221,20 +320,47 @@ func (e *Engine) acceptData(it queue.Item) {
 	e.retryParked()
 }
 
-// retryStalled re-attempts the stalled arrival once space frees.
-func (e *Engine) retryStalled() {
-	if e.stalled == nil || e.toDeliver.Full() || e.blocked || e.expelled {
+// retryPending re-attempts the stashed arrivals once space frees: first
+// the processed head waiting on its stall slot, then the raw remainder of
+// the batch behind it. Only the outermost call drains (pumpingPending):
+// acceptData → serveDeliveries re-enters here, and unbounded recursion
+// would grow the stack by one frame per stashed arrival.
+func (e *Engine) retryPending() {
+	if e.pumpingPending {
 		return
 	}
-	dm := *e.stalled
-	e.stalled = nil
-	if dm.View != e.cv.ID {
-		e.stats.DroppedStale++
-		e.m.dropStale.Inc()
+	e.pumpingPending = true
+	defer func() { e.pumpingPending = false }()
+	for !e.blocked && !e.expelled {
+		if e.pendingHead != nil {
+			if e.toDeliver.Full() {
+				return
+			}
+			dm := *e.pendingHead
+			e.pendingHead = nil
+			if dm.View != e.cv.ID {
+				e.stats.DroppedStale++
+				e.m.dropStale.Inc()
+				continue
+			}
+			it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
+			e.acceptData(it)
+			continue
+		}
+		if e.pendingPos < len(e.pendingRest) {
+			dm := e.pendingRest[e.pendingPos]
+			e.pendingRest[e.pendingPos] = DataMsg{} // release payload refs
+			e.pendingPos++
+			if !e.processData(dm) {
+				h := dm
+				e.pendingHead = &h
+			}
+			continue
+		}
+		e.pendingRest = e.pendingRest[:0]
+		e.pendingPos = 0
 		return
 	}
-	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
-	e.acceptData(it)
 }
 
 // coveredLocally reports whether a message m with m ⊑ m' for some queued
@@ -271,12 +397,42 @@ func (e *Engine) seededAtJoin(m obsolete.Msg) bool {
 
 // ---- t1: deliver ---------------------------------------------------------
 
-// serveDeliveries hands queue heads to waiting Deliver calls.
+// serveDeliveries hands queue heads to waiting Deliver and DeliverBatch
+// calls. A batch waiter takes as many heads as its buffer holds in one
+// wake-up; like Deliver it never completes empty — it waits for the first
+// item (or a terminal error) instead.
 func (e *Engine) serveDeliveries() {
 	for len(e.deliverWaiters) > 0 {
 		w := e.deliverWaiters[0]
 		if w.ctx != nil && w.ctx.Err() != nil {
 			e.deliverWaiters = e.deliverWaiters[1:]
+			continue
+		}
+		if w.dst != nil {
+			n := 0
+			for n < len(w.dst) {
+				it, ok := e.toDeliver.PopHead()
+				if !ok {
+					break
+				}
+				w.dst[n] = e.deliverItem(it)
+				n++
+			}
+			if n == 0 {
+				if e.joinFailed {
+					e.deliverWaiters = e.deliverWaiters[1:]
+					w.errC <- ErrJoinTimeout
+					continue
+				}
+				if e.expelled {
+					e.deliverWaiters = e.deliverWaiters[1:]
+					w.errC <- ErrExpelled
+					continue
+				}
+				return
+			}
+			e.deliverWaiters = e.deliverWaiters[1:]
+			w.nC <- n
 			continue
 		}
 		it, ok := e.toDeliver.PopHead()
@@ -296,8 +452,8 @@ func (e *Engine) serveDeliveries() {
 		e.deliverWaiters = e.deliverWaiters[1:]
 		w.delC <- e.deliverItem(it)
 	}
-	// Space freed by pops lets stalled arrivals and parked multicasts in.
-	e.retryStalled()
+	// Space freed by pops lets pending arrivals and parked multicasts in.
+	e.retryPending()
 	e.retryParked()
 }
 
@@ -334,27 +490,27 @@ func (e *Engine) deliverItem(it queue.Item) Delivery {
 	}
 }
 
-// retryParked re-attempts parked multicasts in FIFO order.
+// retryParked re-attempts parked multicasts in FIFO order. The head stays
+// in place until its whole batch commits, so a half-committed transaction
+// resumes exactly where it stopped; the committing guard keeps the
+// re-entrant calls advance itself triggers from interleaving another
+// request into the open transaction.
 func (e *Engine) retryParked() {
-	if e.joining {
-		return // parked until the state transfer installs the first view
+	if e.joining || e.committing {
+		return
 	}
+	e.committing = true
+	defer func() { e.committing = false }()
 	for len(e.multicastQ) > 0 {
 		req := e.multicastQ[0]
 		if req.ctx != nil && req.ctx.Err() != nil {
 			e.multicastQ = e.multicastQ[1:]
 			continue
 		}
-		if err := e.multicastPrecheck(req); err != nil {
-			e.multicastQ = e.multicastQ[1:]
-			req.mcC <- mcResult{err: err}
-			continue
-		}
-		if e.blocked || !e.canCommit(req) {
-			return
+		if !e.advance(req) {
+			return // progress is recorded in req.done; the head stays parked
 		}
 		e.multicastQ = e.multicastQ[1:]
-		e.commitMulticast(req)
 	}
 }
 
@@ -497,7 +653,10 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 	e.blocked = true
 	e.blockStart = e.clock.Now()
 	e.m.blockedG.Set(1)
-	e.stalled = nil // unaccepted arrival: covered by its sender's pred set
+	// Unaccepted arrivals: covered by their senders' pred sets.
+	e.pendingHead = nil
+	e.pendingRest = e.pendingRest[:0]
+	e.pendingPos = 0
 	e.leave = ident.NewPIDs(m.Leave...).Intersect(e.cv.Members)
 	// Current members need no admission and a process asked to leave is
 	// not admitted by the same change.
@@ -704,6 +863,7 @@ func (e *Engine) install(val consensusValue) {
 	// Reset per-view state.
 	e.delivered = queue.New(e.rel, 0)
 	e.cv = val.Next.Clone()
+	e.viewDirty = true
 	e.blocked = false
 	e.proposed = false
 	e.join = nil
@@ -881,6 +1041,7 @@ func (e *Engine) onJoinState(from ident.PID, m StateMsg) {
 		})
 	}
 	e.cv = View{ID: m.View, Members: members}
+	e.viewDirty = true
 	e.toDeliver.ForceAppend(queue.Item{Kind: queue.Control, View: uint64(m.View), Ctl: e.cv.Clone()})
 	e.stats.JoinBacklogRecv = uint64(len(m.Backlog))
 	e.stats.JoinBytesRecv = uint64(size)

@@ -18,6 +18,22 @@ type DataMsg struct {
 	Payload []byte
 }
 
+// DataBatchMsg coalesces a run of DataMsgs from one sender into a single
+// envelope: one channel operation, one inbox deposit and one type switch
+// on the receiver cover the whole run. The batch is registered as a
+// pointer type so placing it in an envelope's `any` boxes nothing.
+//
+// Batches are a transport-level amortisation only — the receiver processes
+// the contained messages exactly as if they had arrived one by one, so
+// every protocol obligation (per-sender FIFO, flow-control accounting,
+// purge decisions) is untouched. A batch is never shared across
+// goroutines after send: fault-injecting transports may duplicate an
+// envelope, which aliases the same *DataBatchMsg into two deliveries, so
+// receivers must not mutate it.
+type DataBatchMsg struct {
+	Msgs []DataMsg
+}
+
 // InitMsg is the [INIT, v, l] message of Figure 1, extended for dynamic
 // membership: it triggers the view change removing the processes in Leave
 // and admitting the processes in Join. Joiners do not take part in the
@@ -82,6 +98,7 @@ func init() {
 		func(dst []byte, _ JoinReqMsg) []byte { return dst },
 		func(_ *codec.Reader) (JoinReqMsg, error) { return JoinReqMsg{}, nil })
 	codec.Register[StateMsg](codec.TStateMsg, appendStateMsg, readStateMsg)
+	codec.Register[*DataBatchMsg](codec.TDataBatchMsg, appendDataBatchMsg, readDataBatchMsg)
 }
 
 // ---- binary encoders (internal/codec) --------------------------------------
@@ -120,6 +137,15 @@ func readDataMsg(r *codec.Reader) DataMsg {
 
 func readDataMsgStrict(r *codec.Reader) (DataMsg, error) {
 	m := readDataMsg(r)
+	return m, r.Err()
+}
+
+func appendDataBatchMsg(dst []byte, m *DataBatchMsg) []byte {
+	return appendDataMsgs(dst, m.Msgs)
+}
+
+func readDataBatchMsg(r *codec.Reader) (*DataBatchMsg, error) {
+	m := &DataBatchMsg{Msgs: readDataMsgs(r)}
 	return m, r.Err()
 }
 

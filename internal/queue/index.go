@@ -29,10 +29,15 @@ type idxEnt struct {
 func (q *Queue) idxAdd(k idxKey, seq ident.Seq, pos uint64) {
 	s := q.idx[k]
 	if len(s) == 0 {
-		// First entry of this (view, sender) stream: record the view in
-		// the sender's view list (emptied streams are always deleted, so
-		// len 0 means the key was absent).
-		q.views[k.sender] = append(q.views[k.sender], k.view)
+		// First live entry of this (view, sender) stream: make sure the
+		// view is in the sender's view list. Emptied streams keep their
+		// map entry (and the view stays listed) so chained-purge
+		// workloads, where a stream oscillates between one entry and
+		// none on every message, reuse the backing arrays instead of
+		// reallocating them per message — hence the membership scan
+		// (view lists are one or two entries long) rather than assuming
+		// absence.
+		q.ensureView(k)
 	}
 	if n := len(s); n == 0 || s[n-1].seq <= seq {
 		q.idx[k] = append(s, idxEnt{seq: seq, pos: pos})
@@ -55,53 +60,64 @@ func (q *Queue) idxDrop(k idxKey, seq ident.Seq, pos uint64) {
 	if i == len(s) {
 		return
 	}
-	if i == 0 {
+	switch {
+	case len(s) == 1: // necessarily i == 0
+		// Truncate rather than reslice so the stream keeps its full
+		// backing array: the next idxAdd reuses it instead of
+		// allocating. Emptied streams stay in the map (see idxAdd) and
+		// are garbage-collected by the next rebuildIndex.
+		s = s[:0]
+	case i == 0:
 		// PopHead always drops the stream's oldest entry: reslice instead
 		// of memmoving the whole slice, keeping pops O(1). The vacated
 		// front cells are reclaimed when append reallocates.
 		s = s[1:]
-	} else {
+	default:
 		s = append(s[:i], s[i+1:]...)
 	}
-	if len(s) == 0 {
-		q.dropStream(k)
-	} else {
-		q.idx[k] = s
-	}
+	q.idx[k] = s
 }
 
-// dropStream deletes an emptied (view, sender) stream and removes its
-// view from the sender's view list.
-func (q *Queue) dropStream(k idxKey) {
-	delete(q.idx, k)
+// ensureView records k.view in k.sender's view list if it is not already
+// there. Retained empty streams keep their view listed, so registration
+// must tolerate re-adding the first entry of a stream whose view never
+// left the list.
+func (q *Queue) ensureView(k idxKey) {
 	vs := q.views[k.sender]
-	for i, v := range vs {
+	for _, v := range vs {
 		if v == k.view {
-			vs[i] = vs[len(vs)-1]
-			vs = vs[:len(vs)-1]
-			break
+			return
 		}
 	}
-	if len(vs) == 0 {
-		delete(q.views, k.sender)
-	} else {
-		q.views[k.sender] = vs
-	}
+	q.views[k.sender] = append(vs, k.view)
 }
 
 // rebuildIndex reconstructs the index from the ring after compaction has
-// reassigned positions.
+// reassigned positions. Map entries and their backing arrays are reused
+// across rebuilds — in the steady state a rebuild allocates nothing — and
+// streams left with no live entries are dropped afterwards, so stale
+// (view, sender) keys accumulate only between compactions.
 func (q *Queue) rebuildIndex() {
-	for k := range q.idx {
-		delete(q.idx, k)
+	for k, s := range q.idx {
+		q.idx[k] = s[:0]
 	}
-	for s := range q.views {
-		delete(q.views, s)
+	for snd, vs := range q.views {
+		q.views[snd] = vs[:0]
 	}
 	for p := q.head; p != q.tail; p++ {
 		it := q.slot(p)
 		if it.Kind == Data {
 			q.idxAdd(idxKey{view: it.View, sender: it.Meta.Sender}, it.Meta.Seq, p)
+		}
+	}
+	for k, s := range q.idx {
+		if len(s) == 0 {
+			delete(q.idx, k)
+		}
+	}
+	for snd, vs := range q.views {
+		if len(vs) == 0 {
+			delete(q.views, snd)
 		}
 	}
 }

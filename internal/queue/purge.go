@@ -80,12 +80,9 @@ func (q *Queue) purgeForIndexed(n Item, dst []Item, collect bool) ([]Item, int) 
 		w++
 	}
 	if removed > 0 {
-		s = append(s[:w], s[i:]...)
-		if len(s) == 0 {
-			q.dropStream(k)
-		} else {
-			q.idx[k] = s
-		}
+		// s[:w] shares s's backing array, so an emptied stream keeps its
+		// capacity for the next idxAdd (see index.go).
+		q.idx[k] = append(s[:w], s[i:]...)
 		q.stats.Purged += uint64(removed)
 	}
 	return dst, removed
@@ -228,9 +225,7 @@ func (q *Queue) purgeSweepIndexed() int {
 			}
 			out = append(out, ent)
 		}
-		if len(out) == 0 {
-			q.dropStream(k)
-		} else if len(out) != n {
+		if len(out) != n {
 			q.idx[k] = out
 		}
 	}

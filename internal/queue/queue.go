@@ -97,6 +97,10 @@ type Queue struct {
 	head uint64
 	tail uint64
 	live int // non-tombstone entries in [head, tail)
+	// spare is the previous ring, zeroed and retained by compact so a
+	// same-size compaction (the common tombstone-reclaim case) swaps
+	// buffers instead of allocating.
+	spare []Item
 
 	// Sender index (see index.go). idx is non-nil iff rel is
 	// sender-local; views lists, per sender, the views it currently has

@@ -45,7 +45,11 @@ func (q *Queue) compact() {
 	for n < 2*q.live {
 		n <<= 1
 	}
-	buf := make([]Item, n)
+	buf := q.spare
+	q.spare = nil
+	if len(buf) != n {
+		buf = make([]Item, n)
+	}
 	w := uint64(0)
 	for p := q.head; p != q.tail; p++ {
 		s := q.slot(p)
@@ -55,6 +59,12 @@ func (q *Queue) compact() {
 		buf[w] = *s
 		w++
 	}
+	// Zero the old ring so it pins no payloads, then retain it: a queue
+	// cycling through tombstones at steady length compacts repeatedly at
+	// the same size, and the swap makes those compactions allocation-free.
+	old := q.buf
+	clear(old)
+	q.spare = old
 	q.buf = buf
 	q.mask = uint64(n - 1)
 	q.head, q.tail = 0, w

@@ -313,6 +313,11 @@ func (e *FaultEndpoint) Inbox(g ident.GroupID, ch Channel) <-chan Envelope {
 	return e.under.Inbox(g, ch)
 }
 
+// InboxBatch implements Endpoint.
+func (e *FaultEndpoint) InboxBatch(g ident.GroupID, ch Channel) <-chan []Envelope {
+	return e.under.InboxBatch(g, ch)
+}
+
 // Register implements Endpoint.
 func (e *FaultEndpoint) Register(g ident.GroupID) { e.under.Register(g) }
 

@@ -150,6 +150,11 @@ func (e *MemEndpoint) Inbox(g ident.GroupID, ch Channel) <-chan Envelope {
 	return e.boxes.inbox(g, ch)
 }
 
+// InboxBatch implements Endpoint.
+func (e *MemEndpoint) InboxBatch(g ident.GroupID, ch Channel) <-chan []Envelope {
+	return e.boxes.inboxBatch(g, ch)
+}
+
 // Send implements Endpoint.
 func (e *MemEndpoint) Send(to ident.PID, g ident.GroupID, ch Channel, m any) error {
 	e.mu.Lock()

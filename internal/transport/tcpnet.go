@@ -129,6 +129,10 @@ type tcpMetrics struct {
 	// batch samples envelopes-per-frame on the send path: the achieved
 	// write-coalescing factor as a distribution rather than a ratio.
 	batch *obs.Histogram
+	// rxBatch mirrors batch on the receive path: envelopes decoded per
+	// incoming frame, i.e. the batch size handed onwards to the inbox
+	// demux in one pass.
+	rxBatch *obs.Histogram
 }
 
 func newTCPMetrics(ob *obs.Obs) tcpMetrics {
@@ -139,6 +143,7 @@ func newTCPMetrics(ob *obs.Obs) tcpMetrics {
 		framesRecv: ob.Counter("tcp_frames_recv_total"),
 		envsRecv:   ob.Counter("tcp_envelopes_recv_total"),
 		batch:      ob.Histogram("tcp_batch_envelopes", obs.CountBuckets),
+		rxBatch:    ob.Histogram("transport_rx_batch_envelopes", obs.CountBuckets),
 	}
 }
 
@@ -272,6 +277,11 @@ func (n *TCPNetwork) Deregister(g ident.GroupID) { n.boxes.deregister(g) }
 // Inbox implements Endpoint.
 func (n *TCPNetwork) Inbox(g ident.GroupID, ch Channel) <-chan Envelope {
 	return n.boxes.inbox(g, ch)
+}
+
+// InboxBatch implements Endpoint.
+func (n *TCPNetwork) InboxBatch(g ident.GroupID, ch Channel) <-chan []Envelope {
+	return n.boxes.inboxBatch(g, ch)
 }
 
 // Send implements Endpoint. A successful Send means the envelope is
@@ -473,6 +483,19 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var frame []byte
 	var r codec.Reader
+	// run accumulates consecutive envelopes of one (group, channel) so a
+	// whole frame reaches the inbox demux in a few batched deposits — the
+	// receive-side mirror of the writer's coalescing. The buffer is reused
+	// across frames; depositBatch copies, so nothing here escapes.
+	var run []Envelope
+	var runG ident.GroupID
+	var runCh Channel
+	flushRun := func() {
+		if len(run) > 0 {
+			n.boxes.depositBatch(runG, runCh, run)
+			run = run[:0]
+		}
+	}
 	for {
 		flen, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -492,6 +515,7 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 		n.m.framesRecv.Inc()
 		r.Reset(frame)
 		from := ident.PID(r.String())
+		frameEnvs := 0
 		for r.Len() > 0 && r.Err() == nil {
 			gid := r.Uvarint()
 			ch := Channel(r.Byte())
@@ -500,10 +524,12 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 			// envelope be discarded without dropping the whole peer.
 			msg, err := codec.Unmarshal(&r)
 			if err != nil {
+				flushRun()
 				return // mis-encoded or misaligned frame: drop the peer
 			}
 			n.envsRecv.Add(1)
 			n.m.envsRecv.Inc()
+			frameEnvs++
 			if gid > math.MaxUint32 {
 				// A group id beyond GroupID's range can never be hosted;
 				// count it as unknown rather than letting the uint32
@@ -512,7 +538,18 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 				continue
 			}
 			g := ident.GroupID(gid)
-			n.deposit(g, ch, Envelope{From: from, Group: g, Msg: msg})
+			if len(run) > 0 && (g != runG || ch != runCh) {
+				flushRun()
+			}
+			runG, runCh = g, ch
+			run = append(run, Envelope{From: from, Group: g, Msg: msg})
+		}
+		// Flush at every frame boundary: the frame buffer is reused for
+		// the next frame, and decoded messages must not outlive deposit
+		// batching by more than one frame anyway (latency).
+		flushRun()
+		if frameEnvs > 0 {
+			n.m.rxBatch.Observe(float64(frameEnvs))
 		}
 		if r.Err() != nil {
 			return
@@ -521,6 +558,10 @@ func (n *TCPNetwork) readLoop(conn net.Conn) {
 		// the connection's lifetime.
 		if cap(frame) > 1<<20 {
 			frame = nil
+		}
+		// Don't pin a one-off burst's worth of envelope headers either.
+		if cap(run) > 1<<12 {
+			run = nil
 		}
 	}
 }

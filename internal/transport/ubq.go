@@ -2,17 +2,39 @@ package transport
 
 import "sync"
 
+// ubqBatchCap bounds one batch handed to an InboxBatch consumer. It keeps
+// a single receive from monopolising the consumer for unbounded time while
+// still amortising the channel operation over a large run.
+const ubqBatchCap = 1024
+
+// ubq consumption modes. An inbox is consumed either envelope-at-a-time
+// (Inbox) or batch-at-a-time (InboxBatch); the first consumer call fixes
+// the mode for the inbox's lifetime. Mixing the two on one inbox would
+// make delivery order between the channels undefined, so it panics.
+const (
+	ubqUnset = iota
+	ubqSingle
+	ubqBatch
+)
+
 // ubq is an unbounded FIFO queue of envelopes pumped into a Go channel.
 // Pushes never block; the paper's model places all bounded buffering (and
 // hence flow control) in the protocol layer, so the transport must never
 // exert backpressure of its own.
+//
+// The pump emits either single envelopes (out) or batches (outB) depending
+// on which consumer accessor was called first. Batches are double-buffered:
+// the pump alternates between two reusable slices, so a batch stays valid
+// exactly until the consumer's next receive from the same channel.
 type ubq struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []Envelope
 	closed bool
+	mode   int
 
 	out  chan Envelope
+	outB chan []Envelope
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -20,6 +42,7 @@ type ubq struct {
 func newUBQ() *ubq {
 	q := &ubq{
 		out:  make(chan Envelope),
+		outB: make(chan []Envelope),
 		done: make(chan struct{}),
 	}
 	q.cond = sync.NewCond(&q.mu)
@@ -39,6 +62,48 @@ func (q *ubq) push(e Envelope) {
 	q.cond.Signal()
 }
 
+// pushAll enqueues a run of envelopes under one lock acquisition; the
+// slice contents are copied, so the caller may reuse es immediately.
+func (q *ubq) pushAll(es []Envelope) {
+	if len(es) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, es...)
+	q.cond.Signal()
+}
+
+// single claims the inbox for envelope-at-a-time consumption and returns
+// its receive channel. Panics if the inbox is already consumed in batches.
+func (q *ubq) single() <-chan Envelope {
+	q.setMode(ubqSingle, "transport: Inbox called on an inbox already consumed via InboxBatch")
+	return q.out
+}
+
+// batch claims the inbox for batch consumption and returns its receive
+// channel. Panics if the inbox is already consumed envelope-at-a-time.
+func (q *ubq) batch() <-chan []Envelope {
+	q.setMode(ubqBatch, "transport: InboxBatch called on an inbox already consumed via Inbox")
+	return q.outB
+}
+
+func (q *ubq) setMode(mode int, msg string) {
+	q.mu.Lock()
+	if q.mode == ubqUnset {
+		q.mode = mode
+		q.cond.Signal()
+	}
+	bad := q.mode != mode
+	q.mu.Unlock()
+	if bad {
+		panic(msg)
+	}
+}
+
 // close stops the pump; pending items are dropped (crash-stop semantics:
 // a closed endpoint has crashed and receives nothing further). It is safe
 // to call concurrently and repeatedly; every call returns only once the
@@ -54,9 +119,27 @@ func (q *ubq) close() {
 	q.wg.Wait()
 }
 
+// pump waits for the consumption mode to be fixed, then runs the matching
+// emit loop. Both output channels close on exit, so a consumer holding
+// either sees the close however the inbox was (or was never) consumed.
 func (q *ubq) pump() {
 	defer q.wg.Done()
 	defer close(q.out)
+	defer close(q.outB)
+	q.mu.Lock()
+	for q.mode == ubqUnset && !q.closed {
+		q.cond.Wait()
+	}
+	mode := q.mode
+	q.mu.Unlock()
+	if mode == ubqBatch {
+		q.pumpBatch()
+		return
+	}
+	q.pumpSingle()
+}
+
+func (q *ubq) pumpSingle() {
 	for {
 		q.mu.Lock()
 		for len(q.items) == 0 && !q.closed {
@@ -74,6 +157,46 @@ func (q *ubq) pump() {
 
 		select {
 		case q.out <- e:
+		case <-q.done:
+			return
+		}
+	}
+}
+
+// pumpBatch drains up to ubqBatchCap pending envelopes per round into one
+// of two alternating reusable buffers. The buffer handed to the consumer
+// is not touched again until after the consumer's next receive, which is
+// the InboxBatch ownership contract.
+func (q *ubq) pumpBatch() {
+	var bufs [2][]Envelope
+	cur := 0
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		n := len(q.items)
+		if n > ubqBatchCap {
+			n = ubqBatchCap
+		}
+		batch := append(bufs[cur][:0], q.items[:n]...)
+		bufs[cur] = batch
+		rest := copy(q.items, q.items[n:])
+		// Zero the vacated tail so the backing array does not pin
+		// delivered payloads.
+		for i := rest; i < len(q.items); i++ {
+			q.items[i] = Envelope{}
+		}
+		q.items = q.items[:rest]
+		q.mu.Unlock()
+
+		select {
+		case q.outB <- batch:
+			cur ^= 1
 		case <-q.done:
 			return
 		}

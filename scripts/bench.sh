@@ -15,18 +15,23 @@
 #     Single-iteration numbers are noise here, so they run at a fixed
 #     iteration count with -count repeats and the JSON records the
 #     per-metric mean over the repeats.
+#   saturation — the batched data-plane saturation grid (BenchmarkSaturation,
+#     memnet + TCP, groups x senders). Time-based benchtime so every point
+#     reaches its steady state; agg-msgs/s and allocs/op are the payload.
 #
-# Usage: scripts/bench.sh [micro-benchtime] [micro-count]
-#   defaults: 2000x iterations, 3 repeats.
+# Usage: scripts/bench.sh [micro-benchtime] [micro-count] [sat-benchtime]
+#   defaults: 2000x iterations, 3 repeats, 1s saturation benchtime.
 set -eu
 
 cd "$(dirname "$0")/.."
 MICRO_BENCHTIME="${1:-2000x}"
 MICRO_COUNT="${2:-3}"
+SAT_BENCHTIME="${3:-1s}"
 OUT="BENCH_svs.json"
 RAW_FIG="$(mktemp)"
 RAW_MICRO="$(mktemp)"
-trap 'rm -f "$RAW_FIG" "$RAW_MICRO"' EXIT
+RAW_SAT="$(mktemp)"
+trap 'rm -f "$RAW_FIG" "$RAW_MICRO" "$RAW_SAT"' EXIT
 
 # go test runs straight into the raw files (not through a pipeline) so a
 # failing benchmark aborts the script under set -e instead of silently
@@ -46,6 +51,14 @@ go test -run '^$' \
     exit 1
 }
 cat "$RAW_MICRO"
+
+echo "== saturation (-benchtime $SAT_BENCHTIME) =="
+go test -run '^$' -bench 'BenchmarkSaturation' \
+    -benchtime "$SAT_BENCHTIME" -benchmem . > "$RAW_SAT" 2>&1 || {
+    cat "$RAW_SAT" >&2
+    exit 1
+}
+cat "$RAW_SAT"
 
 # emit_entries CLASS FILE — one JSON object line per benchmark name;
 # repeated runs of the same name (micro -count) are averaged per metric.
@@ -85,10 +98,11 @@ emit_entries() {
     printf '  "source": "scripts/bench.sh",\n'
     printf '  "runs": {\n'
     printf '    "figures": {"benchtime": "1x", "count": 1, "note": "Fig3-Fig5 scenario replays and the join state transfer: one iteration replays a whole recorded session; the custom metrics are the measurement, ns/op is not a hot-path latency"},\n'
-    printf '    "micro": {"benchtime": "%s", "count": %s, "note": "hot-path microbenchmarks: fixed iteration count, per-metric means over count runs"}\n' "$MICRO_BENCHTIME" "$MICRO_COUNT"
+    printf '    "micro": {"benchtime": "%s", "count": %s, "note": "hot-path microbenchmarks: fixed iteration count, per-metric means over count runs"},\n' "$MICRO_BENCHTIME" "$MICRO_COUNT"
+    printf '    "saturation": {"benchtime": "%s", "count": 1, "note": "batched data-plane saturation grid: agg-msgs/s is aggregate delivered multicast throughput across groups x senders; allocs/op must stay 0 on the members=2/groups=1 steady-state point"}\n' "$SAT_BENCHTIME"
     printf '  },\n'
     printf '  "benchmarks": [\n'
-    { emit_entries figure "$RAW_FIG"; emit_entries micro "$RAW_MICRO"; } | sed '$ s/,$//'
+    { emit_entries figure "$RAW_FIG"; emit_entries micro "$RAW_MICRO"; emit_entries saturation "$RAW_SAT"; } | sed '$ s/,$//'
     printf '  ]\n'
     printf '}\n'
 } > "$OUT"
