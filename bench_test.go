@@ -1046,6 +1046,155 @@ func benchJoinStateTransfer(b *testing.B, semantic bool) {
 	b.ReportMetric(float64(msgs)/float64(b.N), "xfer-msgs/op")
 }
 
+// BenchmarkMergeStateTransfer measures the bidirectional semantic state
+// exchange of a partition merge (core/merge.go). Each op: a five-member
+// group is cut 3|2, the majority evicts the minority while the minority
+// splits into its own lineage, both sides multicast `produced` messages
+// at each other's backs, and the links heal — the probe/merge handshake
+// reconverges everyone into a union view whose flush carries both sides'
+// backlogs. Under the semantic relation each contribution is the
+// relation-purged backlog — O(window) messages — while the reliable
+// (Empty) baseline must carry all of `produced`: merge-bytes/op is the
+// wire size of every contribution received by one member, flush-msgs/op
+// the union flush length. The semantic/reliable ratio is the point.
+func BenchmarkMergeStateTransfer(b *testing.B) {
+	for _, mode := range []string{"semantic", "reliable"} {
+		mode := mode
+		b.Run("mode="+mode, func(b *testing.B) {
+			benchMergeStateTransfer(b, mode == "semantic")
+		})
+	}
+}
+
+func benchMergeStateTransfer(b *testing.B, semantic bool) {
+	const produced = 512
+	const items = 16
+	var rel obsolete.Relation = obsolete.Empty{}
+	if semantic {
+		rel = obsolete.KEnumeration{K: 64}
+	}
+
+	net := transport.NewMemNetwork()
+	pids := ident.NewPIDs("p0", "p1", "p2", "p3", "p4")
+	maj, min := pids[:3], pids[3:]
+	gc := core.GroupConfig{
+		Relation: rel, ToDeliverCap: 64, OutgoingCap: 64, Window: 64,
+		AutoEvict:   true,
+		Heal:        &core.HealSpec{ProbeInterval: 2 * time.Millisecond, MergeTimeout: time.Second},
+		InitialView: core.View{ID: 1, Members: pids},
+	}
+	dets := make(map[ident.PID]*fd.Manual, len(pids))
+	groups := make(map[ident.PID]*core.Group, len(pids))
+	for _, p := range pids {
+		ep, err := net.Endpoint(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := fd.NewManual()
+		node, err := core.NewNode(core.NodeConfig{Self: p, Endpoint: ep, Detector: det})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			node.Close()
+			det.Stop()
+		})
+		g, err := node.Create(1, gc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dets[p], groups[p] = det, g
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, p := range pids {
+		p := p
+		go func() {
+			for {
+				if _, err := groups[p].Deliver(ctx); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	waitMembers := func(p ident.PID, n int) {
+		for len(groups[p].View().Members) != n {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	waitUnion := func() {
+		for {
+			ref := groups[pids[0]].View().Ref()
+			ok := len(groups[pids[0]].View().Members) == len(pids)
+			for _, p := range pids[1:] {
+				v := groups[p].View()
+				if len(v.Members) != len(pids) || v.Ref() != ref {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	send := func(p ident.PID, tr *obsolete.ItemTracker, n int) {
+		for j := 0; j < n; j++ {
+			seq, annot := tr.Update(uint32(j % items))
+			if !semantic {
+				annot = nil
+			}
+			if _, err := groups[p].Multicast(ctx, obsolete.Msg{Sender: p, Seq: seq, Annot: annot}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	trMaj := obsolete.NewItemTracker(obsolete.NewKTracker(64))
+	trMin := obsolete.NewItemTracker(obsolete.NewKTracker(64))
+
+	var bytes, flush uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Partition 3|2 and let each side settle into its own view: the
+		// majority evicts, the minority splits.
+		for _, a := range maj {
+			for _, z := range min {
+				net.CutBoth(a, z)
+				dets[a].Suspect(z)
+				dets[z].Suspect(a)
+			}
+		}
+		waitMembers(maj[0], len(maj))
+		waitMembers(min[0], len(min))
+
+		// Divergent traffic on both sides: the backlog the merge exchanges.
+		send(maj[0], trMaj, produced)
+		send(min[0], trMin, produced)
+
+		before := groups[maj[0]].Stats()
+		for _, a := range maj {
+			for _, z := range min {
+				dets[a].Restore(z)
+				dets[z].Restore(a)
+			}
+		}
+		for _, a := range maj {
+			for _, z := range min {
+				net.Heal(a, z)
+				net.Heal(z, a)
+			}
+		}
+		waitUnion()
+		after := groups[maj[0]].Stats()
+		bytes += after.MergeBytesRecv - before.MergeBytesRecv
+		flush += uint64(after.LastFlushLen)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(bytes)/float64(b.N), "merge-bytes/op")
+	b.ReportMetric(float64(flush)/float64(b.N), "flush-msgs/op")
+}
+
 // BenchmarkViewChangeLatency measures the wall time of a full view change
 // (INIT → PRED exchange → consensus → install) in an idle group — the
 // protocol's fixed cost; the flush grows with buffered traffic, which

@@ -63,19 +63,20 @@ func main() {
 		seed    = flag.Int64("seed", 1, "fault-injection rng seed")
 		hb      = flag.Duration("hb", 50*time.Millisecond, "heartbeat interval (timeout is 5x)")
 		events  = flag.Bool("events", false, "log structured protocol events to stderr")
+		heal    = flag.Bool("heal", false, "enable partition healing (probe former members, merge diverged views)")
 	)
 	flag.Parse()
 	if *self == "" || *logPath == "" {
 		fmt.Fprintln(os.Stderr, "svs-chaos: -self and -log are required")
 		os.Exit(2)
 	}
-	if err := run(ident.PID(*self), *listen, *ctl, *logPath, *k, *buffer, *seed, *hb, *events); err != nil {
+	if err := run(ident.PID(*self), *listen, *ctl, *logPath, *k, *buffer, *seed, *hb, *events, *heal); err != nil {
 		fmt.Fprintf(os.Stderr, "svs-chaos: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(self ident.PID, listen, ctl, logPath string, k, buffer int, seed int64, hb time.Duration, events bool) error {
+func run(self ident.PID, listen, ctl, logPath string, k, buffer int, seed int64, hb time.Duration, events, heal bool) error {
 	logF, err := os.Create(logPath)
 	if err != nil {
 		return err
@@ -112,6 +113,7 @@ func run(self ident.PID, listen, ctl, logPath string, k, buffer int, seed int64,
 		logF:   logF,
 		k:      k,
 		buffer: buffer,
+		heal:   heal,
 		reg:    reg,
 		groups: make(map[ident.GroupID]*grp),
 		quitC:  make(chan struct{}),
@@ -146,6 +148,7 @@ type server struct {
 	faults *transport.Faults
 	k      int
 	buffer int
+	heal   bool
 	reg    *obs.Registry
 
 	logMu sync.Mutex
@@ -163,6 +166,7 @@ type event struct {
 	P       string   `json:"p"`
 	G       uint32   `json:"g"`
 	View    uint64   `json:"view"`
+	Epoch   uint64   `json:"epoch,omitempty"` // lineage epoch (0 = founding lineage)
 	Sender  string   `json:"sender,omitempty"`
 	Seq     uint64   `json:"seq,omitempty"`
 	Annot   string   `json:"annot,omitempty"` // base64
@@ -184,7 +188,7 @@ func (s *server) log(e event) {
 }
 
 func (s *server) gc() core.GroupConfig {
-	return core.GroupConfig{
+	gc := core.GroupConfig{
 		Relation:          obsolete.KEnumeration{K: s.k},
 		ToDeliverCap:      s.buffer,
 		OutgoingCap:       s.buffer,
@@ -192,6 +196,10 @@ func (s *server) gc() core.GroupConfig {
 		AutoEvict:         true,
 		StabilityInterval: 100 * time.Millisecond,
 	}
+	if s.heal {
+		gc.Heal = &core.HealSpec{}
+	}
+	return gc
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -430,6 +438,7 @@ func (s *server) fault(r faultReq) error {
 // statsResp is the harness-facing status snapshot of one group.
 type statsResp struct {
 	View      uint64   `json:"view"`
+	Epoch     uint64   `json:"epoch"`
 	Members   []string `json:"members"`
 	Joining   bool     `json:"joining"`
 	Expelled  bool     `json:"expelled"`
@@ -453,6 +462,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	x.mu.Lock()
 	resp := statsResp{
 		View:      uint64(v.ID),
+		Epoch:     uint64(v.Epoch),
 		Joining:   v.ID == 0,
 		Expelled:  x.expelled,
 		Blocked:   x.blocked,
@@ -518,18 +528,18 @@ func (x *grp) pump(ctx context.Context) {
 		switch d.Kind {
 		case core.DeliverData:
 			x.s.log(event{
-				Ev: "deliver", G: uint32(x.id), View: uint64(d.View),
+				Ev: "deliver", G: uint32(x.id), View: uint64(d.View), Epoch: uint64(d.Epoch),
 				Sender: string(d.Meta.Sender), Seq: uint64(d.Meta.Seq),
 				Annot: base64.StdEncoding.EncodeToString(d.Meta.Annot),
 			})
 		case core.DeliverView:
-			ev := event{Ev: "install", G: uint32(x.id), View: uint64(d.NewView.ID)}
+			ev := event{Ev: "install", G: uint32(x.id), View: uint64(d.NewView.ID), Epoch: uint64(d.NewView.Epoch)}
 			for _, m := range d.NewView.Members {
 				ev.Members = append(ev.Members, string(m))
 			}
 			x.s.log(ev)
 		case core.DeliverExpelled:
-			x.s.log(event{Ev: "expelled", G: uint32(x.id), View: uint64(d.NewView.ID)})
+			x.s.log(event{Ev: "expelled", G: uint32(x.id), View: uint64(d.NewView.ID), Epoch: uint64(d.NewView.Epoch)})
 			x.mu.Lock()
 			x.expelled = true
 			x.mu.Unlock()
@@ -598,7 +608,7 @@ func (x *grp) work(ctx context.Context) {
 		// the oracle synthesize the record from the deliveries (the kill
 		// window is the only place a delivered message can lack one).
 		x.s.log(event{
-			Ev: "mcast", G: uint32(x.id), View: uint64(view),
+			Ev: "mcast", G: uint32(x.id), View: uint64(view.ID), Epoch: uint64(view.Epoch),
 			Sender: string(x.s.self), Seq: uint64(seq),
 			Annot: base64.StdEncoding.EncodeToString(annot),
 		})

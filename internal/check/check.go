@@ -9,8 +9,8 @@
 //     m' in v, every earlier message m of the same sender multicast in v is
 //     covered by some delivered m” before v+1 is installed;
 //   - Integrity: no creation, no duplication;
-//   - View agreement: processes installing the same view identifier agree
-//     on its membership.
+//   - View agreement: processes installing the same view reference
+//     (lineage epoch + identifier) agree on its membership.
 //
 // Coverage (⊑) is evaluated under the reflexive-transitive closure of the
 // encoded relation over the set of all multicast messages — the "true"
@@ -32,13 +32,19 @@ import (
 // Recorder accumulates the observable events of one execution. It is safe
 // for concurrent use; every process of the group logs into the same
 // recorder.
+//
+// Views are identified by lineage-aware references (ident.ViewRef): after
+// a partition both sides keep numbering views independently, and only the
+// epoch tells their identically-numbered views apart. All internal
+// bookkeeping is ref-keyed; the plain ViewID methods remain as epoch-0
+// wrappers for executions that never diverge.
 type Recorder struct {
 	mu sync.Mutex
 
 	rel obsolete.Relation
-	// initView is the identifier of the group's initial view, which every
+	// initView is the reference of the group's initial view, which every
 	// process installs implicitly before its first recorded event.
-	initView ident.ViewID
+	initView ident.ViewRef
 	// multicast[id] is the metadata of every multicast message, keyed by
 	// (sender, seq); recorded at the sender.
 	multicast map[obsolete.MsgID]mcast
@@ -48,7 +54,7 @@ type Recorder struct {
 
 type mcast struct {
 	meta obsolete.Msg
-	view ident.ViewID
+	view ident.ViewRef
 }
 
 // EventKind discriminates recorded events.
@@ -66,9 +72,9 @@ type Event struct {
 	Kind EventKind
 	// Deliver fields.
 	Meta obsolete.Msg
-	View ident.ViewID // view the message was delivered in
+	View ident.ViewRef // view the message was delivered in
 	// Install fields.
-	ViewID  ident.ViewID
+	Ref     ident.ViewRef
 	Members ident.PIDs
 }
 
@@ -84,34 +90,55 @@ func NewRecorder(rel obsolete.Relation) *Recorder {
 	}
 }
 
-// SetInitialView declares the identifier of the agreed initial view; every
-// process is considered to have installed it implicitly. Defaults to 0.
+// SetInitialView declares the identifier of the agreed initial view
+// (founding lineage, epoch 0); every process is considered to have
+// installed it implicitly. Defaults to view 0.
 func (r *Recorder) SetInitialView(id ident.ViewID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.initView = id
+	r.SetInitialViewRef(ident.ViewRef{ID: id})
 }
 
-// Multicast records that meta was multicast in view v.
+// SetInitialViewRef is SetInitialView for an arbitrary lineage.
+func (r *Recorder) SetInitialViewRef(ref ident.ViewRef) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.initView = ref
+}
+
+// Multicast records that meta was multicast in epoch-0 view v.
 func (r *Recorder) Multicast(meta obsolete.Msg, v ident.ViewID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.multicast[meta.ID()] = mcast{meta: meta, view: v}
+	r.MulticastRef(meta, ident.ViewRef{ID: v})
 }
 
-// Deliver records that p delivered meta in view v.
+// MulticastRef records that meta was multicast in the referenced view.
+func (r *Recorder) MulticastRef(meta obsolete.Msg, ref ident.ViewRef) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.multicast[meta.ID()] = mcast{meta: meta, view: ref}
+}
+
+// Deliver records that p delivered meta in epoch-0 view v.
 func (r *Recorder) Deliver(p ident.PID, meta obsolete.Msg, v ident.ViewID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.deliveries[p] = append(r.deliveries[p], Event{Kind: EvDeliver, Meta: meta, View: v})
+	r.DeliverRef(p, meta, ident.ViewRef{ID: v})
 }
 
-// Install records that p installed the given view.
+// DeliverRef records that p delivered meta in the referenced view.
+func (r *Recorder) DeliverRef(p ident.PID, meta obsolete.Msg, ref ident.ViewRef) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deliveries[p] = append(r.deliveries[p], Event{Kind: EvDeliver, Meta: meta, View: ref})
+}
+
+// Install records that p installed the given epoch-0 view.
 func (r *Recorder) Install(p ident.PID, id ident.ViewID, members ident.PIDs) {
+	r.InstallRef(p, ident.ViewRef{ID: id}, members)
+}
+
+// InstallRef records that p installed the referenced view.
+func (r *Recorder) InstallRef(p ident.PID, ref ident.ViewRef, members ident.PIDs) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.deliveries[p] = append(r.deliveries[p], Event{
-		Kind: EvInstall, ViewID: id, Members: members.Clone(),
+		Kind: EvInstall, Ref: ref, Members: members.Clone(),
 	})
 }
 
@@ -188,24 +215,27 @@ func (r *Recorder) checkFIFOOrder() []error {
 
 func (r *Recorder) checkViewAgreement() []error {
 	var errs []error
-	views := make(map[ident.ViewID]ident.PIDs)
+	views := make(map[ident.ViewRef]ident.PIDs)
 	for p, log := range r.deliveries {
 		prev := ident.ViewID(0)
 		for _, ev := range log {
 			if ev.Kind != EvInstall {
 				continue
 			}
-			if ev.ViewID <= prev {
-				errs = append(errs, fmt.Errorf("views: %s installed view %d after %d", p, ev.ViewID, prev))
+			// The numeric identifier is strictly monotone per process even
+			// across lineage changes: splits and merges both allocate past
+			// every constituent view's number.
+			if ev.Ref.ID <= prev {
+				errs = append(errs, fmt.Errorf("views: %s installed view %s after id %d", p, ev.Ref, prev))
 			}
-			prev = ev.ViewID
-			if m, ok := views[ev.ViewID]; ok {
+			prev = ev.Ref.ID
+			if m, ok := views[ev.Ref]; ok {
 				if !m.Equal(ev.Members) {
 					errs = append(errs, fmt.Errorf(
-						"views: membership disagreement for view %d: %v vs %v", ev.ViewID, m, ev.Members))
+						"views: membership disagreement for view %s: %v vs %v", ev.Ref, m, ev.Members))
 				}
 			} else {
-				views[ev.ViewID] = ev.Members
+				views[ev.Ref] = ev.Members
 			}
 		}
 	}
@@ -226,27 +256,37 @@ func (r *Recorder) newCoverage() *Closure {
 
 // ---- SVS ---------------------------------------------------------------------
 
-// installIndex returns, per process, the map view id → (index in log,
-// members) for every installed view, plus the initial implicit view 0...
-// callers pass explicit installs only.
-type installInfo struct {
+// install is one explicit view installation of a process's log, paired
+// with the view the process held immediately before it (the implicit
+// initial view when the install is the log's first). SVS constrains the
+// transition prev→ref: two processes are bound to each other exactly when
+// both made the same transition, which with lineages is the only sound
+// reading of "consecutive views" — a split member and a merge member may
+// share ref yet have arrived from different predecessors.
+type install struct {
+	ref     ident.ViewRef
+	prev    ident.ViewRef
 	index   int
 	members ident.PIDs
 }
 
-func installs(log []Event) map[ident.ViewID]installInfo {
-	out := make(map[ident.ViewID]installInfo)
+// installSeq extracts the ordered install transitions of one log.
+func installSeq(log []Event, init ident.ViewRef) []install {
+	var out []install
+	prev := init
 	for i, ev := range log {
-		if ev.Kind == EvInstall {
-			out[ev.ViewID] = installInfo{index: i, members: ev.Members}
+		if ev.Kind != EvInstall {
+			continue
 		}
+		out = append(out, install{ref: ev.Ref, prev: prev, index: i, members: ev.Members})
+		prev = ev.Ref
 	}
 	return out
 }
 
 // deliveredInViewBefore collects the ids of messages delivered by log in
 // view v before index bound (negative bound = entire log).
-func deliveredInViewBefore(log []Event, v ident.ViewID, bound int) map[obsolete.MsgID]bool {
+func deliveredInViewBefore(log []Event, v ident.ViewRef, bound int) map[obsolete.MsgID]bool {
 	out := make(map[obsolete.MsgID]bool)
 	for i, ev := range log {
 		if bound >= 0 && i >= bound {
@@ -260,54 +300,52 @@ func deliveredInViewBefore(log []Event, v ident.ViewID, bound int) map[obsolete.
 }
 
 // checkSVS verifies the Semantic View Synchrony property for every pair of
-// processes and every pair of consecutive views both installed.
+// processes and every view transition both performed.
 func (r *Recorder) checkSVS(cov *Closure) []error {
 	var errs []error
 	type pinfo struct {
 		p        ident.PID
 		log      []Event
-		installs map[ident.ViewID]installInfo
+		installs []install
 	}
 	var ps []pinfo
 	for p, log := range r.deliveries {
-		ps = append(ps, pinfo{p: p, log: log, installs: installs(log)})
+		ps = append(ps, pinfo{p: p, log: log, installs: installSeq(log, r.initView)})
 	}
 	sort.Slice(ps, func(i, j int) bool { return ps[i].p < ps[j].p })
 
 	for _, a := range ps {
-		for vid, next := range a.installs {
-			if vid == 0 {
+		for _, in := range a.installs {
+			if in.prev == in.ref {
+				// The explicitly-logged initial install (founders record it
+				// by fiat): not a transition, nothing to synchronise.
 				continue
 			}
-			prev := vid - 1
 			// Messages a delivered in view prev (any time: SVS constrains
-			// what *others* must deliver before installing vid).
-			got := deliveredInViewBefore(a.log, prev, -1)
+			// what *others* must deliver before installing ref).
+			got := deliveredInViewBefore(a.log, in.prev, -1)
 			if len(got) == 0 {
 				continue
 			}
-			_ = next
 			for _, b := range ps {
 				if b.p == a.p {
 					continue
 				}
-				bi, ok := b.installs[vid]
-				if !ok {
-					continue // b did not install vid: not constrained
-				}
-				if _, ok := b.installs[prev]; !ok && prev != r.initView {
-					// b installed vid but never prev: it was not a member
-					// of prev, so SVS does not constrain it. The initial
-					// view is installed implicitly by everyone.
-					continue
-				}
-				// What b delivered (in view prev) before installing vid.
-				bGot := deliveredInViewBefore(b.log, prev, bi.index)
-				for m := range got {
-					if !cov.CoveredByAny(m, bGot) {
-						errs = append(errs, fmt.Errorf(
-							"svs: %s delivered %v in view %d but %s installed view %d without a covering delivery",
-							a.p, m, prev, b.p, vid))
+				for _, bin := range b.installs {
+					if bin.ref != in.ref || bin.prev != in.prev {
+						// b did not make the same prev→ref transition (it
+						// joined at ref, or arrived via another lineage):
+						// not constrained.
+						continue
+					}
+					// What b delivered (in view prev) before installing ref.
+					bGot := deliveredInViewBefore(b.log, in.prev, bin.index)
+					for m := range got {
+						if !cov.CoveredByAny(m, bGot) {
+							errs = append(errs, fmt.Errorf(
+								"svs: %s delivered %v in view %s but %s installed view %s without a covering delivery",
+								a.p, m, in.prev, b.p, in.ref))
+						}
 					}
 				}
 			}
@@ -317,16 +355,16 @@ func (r *Recorder) checkSVS(cov *Closure) []error {
 }
 
 // checkFIFOSR verifies clause (ii) of FIFO Semantically Reliable delivery:
-// if p installs v and v+1 and delivers m' (sender s, multicast in v) in v,
-// then every message m that s multicast in v before m' is covered by one
-// of p's deliveries before the installation of v+1.
+// if p performs the view transition v→v' and delivers m' (sender s,
+// multicast in v) in v, then every message m that s multicast in v before
+// m' is covered by one of p's deliveries before the installation of v'.
 func (r *Recorder) checkFIFOSR(cov *Closure) []error {
 	var errs []error
 
 	// Group multicasts by (sender, view) in seq order.
 	type sv struct {
 		s ident.PID
-		v ident.ViewID
+		v ident.ViewRef
 	}
 	streams := make(map[sv][]obsolete.Msg)
 	for _, mc := range r.multicast {
@@ -340,13 +378,11 @@ func (r *Recorder) checkFIFOSR(cov *Closure) []error {
 	}
 
 	for p, log := range r.deliveries {
-		ins := installs(log)
-		for vid, info := range ins {
-			if vid == 0 {
+		for _, in := range installSeq(log, r.initView) {
+			if in.prev == in.ref {
 				continue
 			}
-			prev := vid - 1
-			delivered := deliveredInViewBefore(log, prev, info.index)
+			delivered := deliveredInViewBefore(log, in.prev, in.index)
 			if len(delivered) == 0 {
 				continue
 			}
@@ -358,14 +394,14 @@ func (r *Recorder) checkFIFOSR(cov *Closure) []error {
 				}
 			}
 			for s, hi := range maxSeq {
-				for _, m := range streams[sv{s: s, v: prev}] {
+				for _, m := range streams[sv{s: s, v: in.prev}] {
 					if m.Seq >= hi {
 						break
 					}
 					if !cov.CoveredByAny(m.ID(), delivered) {
 						errs = append(errs, fmt.Errorf(
-							"fifo-sr: %s delivered %s:%d in view %d but predecessor %s:%d is uncovered before view %d",
-							p, s, hi, prev, s, m.Seq, vid))
+							"fifo-sr: %s delivered %s:%d in view %s but predecessor %s:%d is uncovered before view %s",
+							p, s, hi, in.prev, s, m.Seq, in.ref))
 					}
 				}
 			}

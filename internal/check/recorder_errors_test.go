@@ -122,7 +122,7 @@ func TestRecorderRegressingViewOrder(t *testing.T) {
 	r.Install("p0", 3, members)
 	r.Install("p0", 2, members)
 	errs := r.Verify()
-	if got := countViolations(errs, "installed view 2 after 3"); got != 1 {
+	if got := countViolations(errs, "installed view v2 after id 3"); got != 1 {
 		t.Fatalf("view order regression not reported once: %v", errs)
 	}
 }

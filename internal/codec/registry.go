@@ -29,6 +29,13 @@ const (
 	// TDataBatchMsg coalesces a run of DataMsgs from one sender into a
 	// single envelope (internal/core's batched data plane).
 	TDataBatchMsg
+	// TProbeMsg .. TMergePredMsg are the partition-healing protocol
+	// (internal/core): discovery probes, minority split declarations, merge
+	// announcements and the bidirectional merge state contributions.
+	TProbeMsg
+	TSplitMsg
+	TMergeMsg
+	TMergePredMsg
 
 	// TTestA and TTestB are reserved for package tests.
 	TTestA TypeID = 250

@@ -70,7 +70,7 @@ func TestMulticastBatchDeliversAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range msgs {
-		h.rec.Multicast(m.Meta, view)
+		h.rec.MulticastRef(m.Meta, view)
 	}
 	for _, p := range h.pids {
 		h.waitDelivered(p, func(log []check.Event) bool {
@@ -111,7 +111,7 @@ func TestMulticastBatchLargerThanCredit(t *testing.T) {
 		view, err := h.members["p0"].eng.MulticastBatch(ctx, msgs)
 		if err == nil {
 			for _, m := range msgs {
-				h.rec.Multicast(m.Meta, view)
+				h.rec.MulticastRef(m.Meta, view)
 			}
 		}
 		done <- err

@@ -73,6 +73,40 @@ type Config struct {
 	// delivery history and excluded from view-change flush sets (see
 	// stability.go). Zero disables stability tracking.
 	StabilityInterval time.Duration
+
+	// Heal enables partition healing (see merge.go): a blocked view change
+	// that cannot reach a majority continues as a minority sub-view under a
+	// fresh lineage epoch instead of wedging, and sub-views that later hear
+	// each other's probes merge back into a union view with a bidirectional
+	// semantic state exchange. Nil disables healing: minorities block and
+	// evicted processes stay out, the pre-healing behaviour.
+	Heal *HealSpec
+
+	// MaxDeferredCtl bounds the stash of control messages that arrive for a
+	// future view and are replayed after the next install. Merge traffic
+	// raises deferred-ctl pressure (both sides' control streams cross
+	// during the handshake), so deployments using Heal may want more room.
+	// 0 means defaultMaxDeferredCtl; overflow drops the oldest entry
+	// (counted by engine_dropped_total{reason=defer_overflow}).
+	MaxDeferredCtl int
+}
+
+// defaultMaxDeferredCtl is the MaxDeferredCtl applied when the config
+// leaves it zero.
+const defaultMaxDeferredCtl = 4096
+
+// HealSpec configures partition healing (Config.Heal).
+type HealSpec struct {
+	// ProbeInterval is the period of the discovery beacon sent to processes
+	// this member once shared a view with but no longer does. Probes are
+	// tiny (a view ref + member list) and only flow while the engine is
+	// unblocked, so the steady-state cost of a healed group is zero.
+	// Default 500ms.
+	ProbeInterval time.Duration
+	// MergeTimeout aborts a merge whose union-view consensus does not
+	// decide in time (e.g. the partition re-opened mid-handshake); the
+	// engine unblocks and retries on a later probe. Default 20×ProbeInterval.
+	MergeTimeout time.Duration
 }
 
 // JoinSpec configures a joining engine (Config.Join).
@@ -168,6 +202,29 @@ func (c *Config) validate() error {
 	}
 	if c.ToDeliverCap < 0 || c.OutgoingCap < 0 || c.Window < 0 {
 		return fmt.Errorf("core: config: negative capacity")
+	}
+	if c.MaxDeferredCtl < 0 {
+		return fmt.Errorf("core: config: negative MaxDeferredCtl")
+	}
+	if c.MaxDeferredCtl == 0 {
+		c.MaxDeferredCtl = defaultMaxDeferredCtl
+	}
+	if c.Heal != nil {
+		probe := c.Heal.ProbeInterval
+		if probe < 0 {
+			return fmt.Errorf("core: config: negative Heal.ProbeInterval")
+		}
+		if probe == 0 {
+			probe = 500 * time.Millisecond
+		}
+		timeout := c.Heal.MergeTimeout
+		if timeout < 0 {
+			return fmt.Errorf("core: config: negative Heal.MergeTimeout")
+		}
+		if timeout == 0 {
+			timeout = 20 * probe
+		}
+		c.Heal = &HealSpec{ProbeInterval: probe, MergeTimeout: timeout}
 	}
 	if c.Relation == nil {
 		c.Relation = obsolete.Empty{}

@@ -41,6 +41,10 @@ type Delivery struct {
 	// View is the view the item belongs to: for data, the view it was
 	// multicast in; for view notifications, the new view's identifier.
 	View ident.ViewID
+	// Epoch is the lineage of that view (see ident.ViewRef). Together with
+	// View it names the view globally even across partition splits and
+	// merges; 0 is the founding lineage.
+	Epoch ident.Epoch
 	// Meta and Payload are set for data deliveries.
 	Meta    obsolete.Msg
 	Payload []byte
@@ -53,6 +57,8 @@ type Delivery struct {
 type Stats struct {
 	// View is the identifier of the current view.
 	View ident.ViewID
+	// Epoch is the current view's lineage (0 until a split or merge).
+	Epoch ident.Epoch
 	// Members is the current membership size.
 	Members int
 
@@ -89,4 +95,16 @@ type Stats struct {
 
 	StablePruned uint64 // history entries reclaimed by stability tracking
 	HistoryLen   int    // current delivery-history size (flush-set bound)
+
+	// DecisionsIgnored counts consensus decisions that arrived but could
+	// not be installed — duplicates of the current view, decisions for a
+	// view this engine is no longer waiting on, or decisions landing while
+	// unblocked. With concurrent proposals (splits, merges) these are
+	// expected losers of the arbitration, not errors.
+	DecisionsIgnored uint64
+
+	// Partition healing (Config.Heal).
+	Merges         uint64 // union views installed by a partition merge
+	MergeAborts    uint64 // merges abandoned on timeout
+	MergeBytesRecv uint64 // wire bytes of merge state contributions received
 }

@@ -46,6 +46,23 @@ type Engine struct {
 	expelled bool
 	proposed bool
 
+	// pendingNext is the set of candidate next views this engine is
+	// awaiting a consensus decision for. With partition healing several
+	// proposals for distinct successors can be in flight at once (the
+	// ordinary change, rotating split declarations, a merge); the first
+	// decision to arrive for a ref in this set wins, and decisions for
+	// refs outside it are counted as ignored, not installed.
+	pendingNext map[ident.ViewRef]bool
+
+	// former holds processes this member once shared a view with but no
+	// longer does — the probe targets of partition healing (merge.go).
+	// Maintained only when Config.Heal is set.
+	former map[ident.PID]struct{}
+
+	// merge is the in-flight partition merge, nil when none (merge.go).
+	merge    *mergeState
+	healTick obs.Ticker
+
 	// Join handshake state. joining is true from Start until the state
 	// transfer installs the first view; joinTimer retransmits the join
 	// request meanwhile under capped exponential backoff with jitter
@@ -194,7 +211,7 @@ func (req *request) curSeq() ident.Seq {
 // mcResult reports the outcome of a multicast: the view in which the
 // message was sent, or an error.
 type mcResult struct {
-	view ident.ViewID
+	view ident.ViewRef
 	err  error
 }
 
@@ -235,9 +252,9 @@ func putRequest(req *request) {
 
 // decision carries a consensus outcome back into the loop.
 type decision struct {
-	forView ident.ViewID
-	val     consensusValue
-	err     error
+	forRef ident.ViewRef
+	val    consensusValue
+	err    error
 }
 
 // New validates cfg and assembles a stopped engine; call Start.
@@ -255,25 +272,27 @@ func New(cfg Config) (*Engine, error) {
 		initial = View{}
 	}
 	e := &Engine{
-		cfg:        cfg,
-		rel:        cfg.Relation,
-		cons:       consensus.New(cfg.Endpoint, cfg.Detector, cfg.Group, cfg.Obs),
-		clock:      cfg.Obs.Clock(),
-		ev:         cfg.Obs.Events(),
-		m:          newEngMetrics(cfg.Obs),
-		reqC:       make(chan *request, 64),
-		decC:       make(chan decision, 4),
-		stopC:      make(chan struct{}),
-		doneC:      make(chan struct{}),
-		rootCtx:    ctx,
-		cancel:     cancel,
-		cv:         initial.Clone(),
-		joining:    cfg.Join != nil,
-		toDeliver:  queue.New(cfg.Relation, cfg.ToDeliverCap),
-		delivered:  queue.New(cfg.Relation, 0),
-		recvMax:    make(map[ident.PID]ident.Seq),
-		globalPred: make(map[obsolete.MsgID]DataMsg),
-		flow:       newFlowState(cfg, initial.Members),
+		cfg:         cfg,
+		rel:         cfg.Relation,
+		cons:        consensus.New(cfg.Endpoint, cfg.Detector, cfg.Group, cfg.Obs),
+		clock:       cfg.Obs.Clock(),
+		ev:          cfg.Obs.Events(),
+		m:           newEngMetrics(cfg.Obs),
+		reqC:        make(chan *request, 64),
+		decC:        make(chan decision, 4),
+		stopC:       make(chan struct{}),
+		doneC:       make(chan struct{}),
+		rootCtx:     ctx,
+		cancel:      cancel,
+		cv:          initial.Clone(),
+		joining:     cfg.Join != nil,
+		toDeliver:   queue.New(cfg.Relation, cfg.ToDeliverCap),
+		delivered:   queue.New(cfg.Relation, 0),
+		recvMax:     make(map[ident.PID]ident.Seq),
+		globalPred:  make(map[obsolete.MsgID]DataMsg),
+		pendingNext: make(map[ident.ViewRef]bool),
+		former:      make(map[ident.PID]struct{}),
+		flow:        newFlowState(cfg, initial.Members),
 	}
 	e.curView = e.cv.Clone()
 	return e, nil
@@ -285,6 +304,9 @@ func (e *Engine) Start() error {
 	e.cons.Start()
 	if e.cfg.StabilityInterval > 0 {
 		e.stabTick = e.clock.NewTicker(e.cfg.StabilityInterval)
+	}
+	if e.cfg.Heal != nil {
+		e.healTick = e.clock.NewTicker(e.cfg.Heal.ProbeInterval)
 	}
 	if e.cfg.Join != nil {
 		e.joinStart = e.clock.Now()
@@ -329,24 +351,24 @@ func (e *Engine) Stats() Stats {
 // numbers must be contiguous starting at 1. The call blocks while the
 // protocol exercises flow control (buffers full or view change in
 // progress) until the message is accepted, ctx is done, or the engine
-// stops. On success it returns the identifier of the view the message was
-// multicast in.
-func (e *Engine) Multicast(ctx context.Context, meta obsolete.Msg, payload []byte) (ident.ViewID, error) {
+// stops. On success it returns the global identifier of the view the
+// message was multicast in.
+func (e *Engine) Multicast(ctx context.Context, meta obsolete.Msg, payload []byte) (ident.ViewRef, error) {
 	req := getRequest(reqMulticast, ctx)
 	req.meta = meta
 	req.payload = payload
 	if err := e.submit(ctx, req); err != nil {
 		putRequest(req) // never reached the loop
-		return 0, err
+		return ident.ViewRef{}, err
 	}
 	select {
 	case res := <-req.mcC:
 		putRequest(req)
 		return res.view, res.err
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return ident.ViewRef{}, ctx.Err()
 	case <-e.doneC:
-		return 0, ErrStopped
+		return ident.ViewRef{}, ErrStopped
 	}
 }
 
@@ -364,10 +386,10 @@ func (e *Engine) Multicast(ctx context.Context, meta obsolete.Msg, payload []byt
 // On success it returns the view the last message was sent in. On error,
 // messages preceding the failure were committed and sent; the failed
 // message and everything after it were not.
-func (e *Engine) MulticastBatch(ctx context.Context, msgs []OutMsg) (ident.ViewID, error) {
+func (e *Engine) MulticastBatch(ctx context.Context, msgs []OutMsg) (ident.ViewRef, error) {
 	if len(msgs) == 0 {
 		e.mu.Lock()
-		v := e.curView.ID
+		v := e.curView.Ref()
 		e.mu.Unlock()
 		return v, nil
 	}
@@ -375,16 +397,16 @@ func (e *Engine) MulticastBatch(ctx context.Context, msgs []OutMsg) (ident.ViewI
 	req.batch = msgs
 	if err := e.submit(ctx, req); err != nil {
 		putRequest(req) // never reached the loop
-		return 0, err
+		return ident.ViewRef{}, err
 	}
 	select {
 	case res := <-req.mcC:
 		putRequest(req)
 		return res.view, res.err
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return ident.ViewRef{}, ctx.Err()
 	case <-e.doneC:
-		return 0, ErrStopped
+		return ident.ViewRef{}, ErrStopped
 	}
 }
 
@@ -505,6 +527,11 @@ func (e *Engine) run() {
 		stabC = e.stabTick.C()
 		defer e.stabTick.Stop()
 	}
+	var healC <-chan time.Time
+	if e.healTick != nil {
+		healC = e.healTick.C()
+		defer e.healTick.Stop()
+	}
 	if e.joining {
 		defer func() {
 			if e.joinTimer != nil {
@@ -558,6 +585,8 @@ func (e *Engine) run() {
 			e.onDecision(dec)
 		case <-stabC:
 			e.gossipStability()
+		case <-healC:
+			e.onHealTick()
 		case <-joinC:
 			e.onJoinRetry()
 		}
@@ -667,6 +696,7 @@ func (e *Engine) send(p ident.PID, ch transport.Channel, msg any) {
 // syncSnapshots mirrors loop-owned state into the facade-visible copies.
 func (e *Engine) syncSnapshots() {
 	e.stats.View = e.cv.ID
+	e.stats.Epoch = e.cv.Epoch
 	e.stats.Members = len(e.cv.Members)
 	e.stats.ToDeliverLen = e.toDeliver.Len()
 	e.stats.HistoryLen = e.delivered.Len()

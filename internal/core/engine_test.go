@@ -11,6 +11,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/fd"
 	"repro/internal/ident"
+	"repro/internal/obs"
 	"repro/internal/obsolete"
 	"repro/internal/transport"
 )
@@ -51,6 +52,8 @@ type harnessOpts struct {
 	window       int
 	autoEvict    bool
 	stability    time.Duration
+	heal         *HealSpec // enable partition healing
+	clock        obs.Clock // nil = wall clock
 }
 
 func newGroup(t *testing.T, o harnessOpts) *groupHarness {
@@ -73,6 +76,10 @@ func newGroup(t *testing.T, o harnessOpts) *groupHarness {
 	view0 := View{ID: 1, Members: h.pids}
 	h.rec.SetInitialView(view0.ID)
 
+	var ob *obs.Obs
+	if o.clock != nil {
+		ob = obs.New(o.clock, nil, nil)
+	}
 	for _, p := range h.pids {
 		ep, err := h.net.Endpoint(p)
 		if err != nil {
@@ -90,6 +97,8 @@ func newGroup(t *testing.T, o harnessOpts) *groupHarness {
 			Window:            o.window,
 			AutoEvict:         o.autoEvict,
 			StabilityInterval: o.stability,
+			Heal:              o.heal,
+			Obs:               ob,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -150,7 +159,7 @@ func (h *groupHarness) startDriver(m *gMember) {
 			}
 			switch del.Kind {
 			case DeliverData:
-				h.rec.Deliver(m.pid, del.Meta, del.View)
+				h.rec.DeliverRef(m.pid, del.Meta, ident.ViewRef{Epoch: del.Epoch, ID: del.View})
 				if d > 0 {
 					select {
 					case <-time.After(d):
@@ -159,7 +168,7 @@ func (h *groupHarness) startDriver(m *gMember) {
 					}
 				}
 			case DeliverView:
-				h.rec.Install(m.pid, del.NewView.ID, del.NewView.Members)
+				h.rec.InstallRef(m.pid, del.NewView.Ref(), del.NewView.Members)
 				m.mu.Lock()
 				m.lastView = del.NewView
 				m.mu.Unlock()
@@ -189,7 +198,7 @@ func (h *groupHarness) multicast(p ident.PID, seq ident.Seq, annot []byte, paylo
 	if err != nil {
 		return err
 	}
-	h.rec.Multicast(meta, view)
+	h.rec.MulticastRef(meta, view)
 	return nil
 }
 

@@ -126,7 +126,7 @@ func (f *flowState) freed(p ident.PID, e *Engine) {
 		f.owed[p] = 0
 		f.granted[p] += n
 		e.m.creditFlushes.Inc()
-		e.send(p, transport.Ctl, CreditMsg{View: e.cv.ID, Credits: n})
+		e.send(p, transport.Ctl, CreditMsg{View: e.cv.ID, Epoch: e.cv.Epoch, Credits: n})
 	}
 }
 
@@ -145,7 +145,7 @@ func (e *Engine) drainOutgoing(p ident.PID) {
 		if !ok {
 			break
 		}
-		if it.View != uint64(e.cv.ID) {
+		if it.View != uint64(e.cv.ID) || it.Epoch != uint64(e.cv.Epoch) {
 			out.PopHead() // stale: the view changed while it waited
 			continue
 		}
@@ -154,7 +154,7 @@ func (e *Engine) drainOutgoing(p ident.PID) {
 		}
 		out.PopHead()
 		run = append(run, DataMsg{
-			View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload,
+			View: ident.ViewID(it.View), Epoch: ident.Epoch(it.Epoch), Meta: it.Meta, Payload: it.Payload,
 		})
 	}
 	switch len(run) {

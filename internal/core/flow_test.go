@@ -294,7 +294,7 @@ func TestDeferredCtlOverflowCounted(t *testing.T) {
 	defer evil.Close()
 
 	const extra = 7
-	for i := 0; i < maxDeferredCtl+extra; i++ {
+	for i := 0; i < defaultMaxDeferredCtl+extra; i++ {
 		if err := evil.Send("p0", 0, transport.Ctl, InitMsg{View: 99}); err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,13 @@ import (
 	"repro/internal/obs"
 )
 
+// Reasons a consensus decision is accounted as ignored (ignoreDecision).
+const (
+	ignoreDuplicate  = "duplicate"   // the decision for the view just installed, reported twice
+	ignoreNotBlocked = "not_blocked" // a decide flood landing while unblocked
+	ignoreWrongView  = "wrong_view"  // the losing branch of concurrent proposals
+)
+
 // engMetrics are the engine's instruments, resolved once at construction.
 // Every field is nil-safe: an engine built without a registry records
 // nothing and pays one nil check per site. The Stats struct (delivery.go)
@@ -34,6 +41,16 @@ type engMetrics struct {
 	decisionFails   *obs.Counter
 	creditFlushes   *obs.Counter // owed-credit batches flushed to senders
 
+	// decisionsIgnored counts consensus decisions the engine received but
+	// could not install, by reason — engine_decisions_ignored_total{reason=}.
+	// With concurrent proposals (splits, merges) some losers are expected;
+	// the label tells an operator whether the losses are the benign kind.
+	decisionsIgnored map[string]*obs.Counter
+
+	// Partition healing (merge.go).
+	mergesTotal *obs.Counter // view_merge_total: union views installed
+	mergeAborts *obs.Counter // view_merge_aborts_total: merges timed out
+
 	// Gauges (current state, refreshed by syncSnapshots).
 	view      *obs.Gauge
 	members   *obs.Gauge
@@ -53,11 +70,18 @@ type engMetrics struct {
 
 	// Data-plane batching.
 	batchSize *obs.Histogram // messages committed per multicast transaction
+
+	// Partition-healing timings and sizes.
+	mergeDur   *obs.Histogram // view_merge_seconds: merge start -> union install
+	mergeBytes *obs.Histogram // view_merge_delta_bytes: contribution bytes per merge
 }
 
 func newEngMetrics(ob *obs.Obs) engMetrics {
 	drop := func(reason obs.DropReason) *obs.Counter {
 		return ob.CounterL("engine_dropped_total", obs.L("reason", string(reason)))
+	}
+	ignored := func(reason string) *obs.Counter {
+		return ob.CounterL("engine_decisions_ignored_total", obs.L("reason", reason))
 	}
 	return engMetrics{
 		multicast:      ob.Counter("engine_multicast_total"),
@@ -81,6 +105,15 @@ func newEngMetrics(ob *obs.Obs) engMetrics {
 		decisionFails:   ob.Counter("engine_decision_failures_total"),
 		creditFlushes:   ob.Counter("engine_credit_flushes_total"),
 
+		decisionsIgnored: map[string]*obs.Counter{
+			ignoreDuplicate:  ignored(ignoreDuplicate),
+			ignoreNotBlocked: ignored(ignoreNotBlocked),
+			ignoreWrongView:  ignored(ignoreWrongView),
+		},
+
+		mergesTotal: ob.Counter("view_merge_total"),
+		mergeAborts: ob.Counter("view_merge_aborts_total"),
+
 		view:      ob.Gauge("engine_view"),
 		members:   ob.Gauge("engine_members"),
 		qLen:      ob.Gauge("engine_todeliver_len"),
@@ -97,5 +130,8 @@ func newEngMetrics(ob *obs.Obs) engMetrics {
 		parkDur:        ob.Histogram("engine_multicast_park_seconds", obs.DurationBuckets),
 
 		batchSize: ob.Histogram("engine_batch_size", obs.CountBuckets),
+
+		mergeDur:   ob.Histogram("view_merge_seconds", obs.DurationBuckets),
+		mergeBytes: ob.Histogram("view_merge_delta_bytes", obs.CountBuckets),
 	}
 }

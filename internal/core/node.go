@@ -90,6 +90,10 @@ type GroupConfig struct {
 	AutoEvict bool
 	// StabilityInterval enables reception-frontier gossip (see Config).
 	StabilityInterval time.Duration
+	// Heal enables partition healing for this group (see Config.Heal).
+	Heal *HealSpec
+	// MaxDeferredCtl bounds the future-view control stash (see Config).
+	MaxDeferredCtl int
 }
 
 // Group is one hosted group: the Engine facade (Multicast, Deliver,
@@ -230,6 +234,8 @@ func (n *Node) host(id ident.GroupID, gc GroupConfig, join *JoinSpec) (*Group, e
 		Window:            gc.Window,
 		AutoEvict:         gc.AutoEvict,
 		StabilityInterval: gc.StabilityInterval,
+		Heal:              gc.Heal,
+		MaxDeferredCtl:    gc.MaxDeferredCtl,
 		Obs:               n.obs.With(obs.L("group", fmt.Sprint(id))),
 	})
 	if err != nil {

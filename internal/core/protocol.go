@@ -87,7 +87,7 @@ func (e *Engine) advance(req *request) bool {
 		e.ev.FlowUnblocked(uint64(e.lastSent), stalled)
 		req.parkedAt = time.Time{}
 	}
-	req.mcC <- mcResult{view: e.cv.ID}
+	req.mcC <- mcResult{view: e.cv.Ref()}
 	return true
 }
 
@@ -151,6 +151,7 @@ func (e *Engine) dataItem(meta obsolete.Msg, payload []byte) queue.Item {
 	return queue.Item{
 		Kind:    queue.Data,
 		View:    uint64(e.cv.ID),
+		Epoch:   uint64(e.cv.Epoch),
 		Meta:    meta,
 		Payload: payload,
 	}
@@ -161,7 +162,7 @@ func (e *Engine) dataItem(meta obsolete.Msg, payload []byte) queue.Item {
 // every queue is guaranteed by canCommit.
 func (e *Engine) commitOne(meta obsolete.Msg, payload []byte) {
 	it := e.dataItem(meta, payload)
-	dm := DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload}
+	dm := DataMsg{View: e.cv.ID, Epoch: e.cv.Epoch, Meta: it.Meta, Payload: it.Payload}
 	if e.m.deliverLatency != nil {
 		it.At = e.clock.Now()
 	}
@@ -196,7 +197,7 @@ func (e *Engine) stageData(p ident.PID, dm DataMsg) {
 		return
 	}
 	out := e.flow.pending(p)
-	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
+	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Epoch: uint64(dm.Epoch), Meta: dm.Meta, Payload: dm.Payload}
 	n := uint64(out.PurgeForN(it))
 	e.stats.PurgedOutgoing += n
 	e.m.purgedOutgoing.Add(n)
@@ -274,7 +275,10 @@ func (e *Engine) processData(dm DataMsg) bool {
 		e.m.dropExpelled.Inc()
 		return true
 	}
-	if dm.View != e.cv.ID {
+	if dm.View != e.cv.ID || dm.Epoch != e.cv.Epoch {
+		// Not this view — stale, or another lineage's traffic racing a
+		// partition merge. Either way its pred/flush obligations are
+		// handled by view-change machinery, not the data path.
 		e.stats.DroppedStale++
 		e.m.dropStale.Inc()
 		return true
@@ -298,7 +302,7 @@ func (e *Engine) processData(dm DataMsg) bool {
 		e.flow.freed(dm.Meta.Sender, e)
 		return true
 	}
-	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
+	it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Epoch: uint64(dm.Epoch), Meta: dm.Meta, Payload: dm.Payload}
 	e.purgeToDeliver(it)
 	if e.toDeliver.Full() {
 		// Keep the arrival in the one reserved stall slot; the data inbox
@@ -338,12 +342,12 @@ func (e *Engine) retryPending() {
 			}
 			dm := *e.pendingHead
 			e.pendingHead = nil
-			if dm.View != e.cv.ID {
+			if dm.View != e.cv.ID || dm.Epoch != e.cv.Epoch {
 				e.stats.DroppedStale++
 				e.m.dropStale.Inc()
 				continue
 			}
-			it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload}
+			it := queue.Item{Kind: queue.Data, View: uint64(dm.View), Epoch: uint64(dm.Epoch), Meta: dm.Meta, Payload: dm.Payload}
 			e.acceptData(it)
 			continue
 		}
@@ -379,7 +383,7 @@ func (e *Engine) purgeToDeliver(it queue.Item) {
 	purged := e.toDeliver.PurgeForInto(it, e.purgeScratch[:0])
 	for i := range purged {
 		p := &purged[i]
-		if p.Meta.Sender != e.cfg.Self && p.View == uint64(e.cv.ID) && !e.seededAtJoin(p.Meta) {
+		if p.Meta.Sender != e.cfg.Self && p.View == uint64(e.cv.ID) && p.Epoch == uint64(e.cv.Epoch) && !e.seededAtJoin(p.Meta) {
 			e.flow.freed(p.Meta.Sender, e)
 		}
 		purged[i] = queue.Item{} // release payload references
@@ -465,14 +469,14 @@ func (e *Engine) deliverItem(it queue.Item) Delivery {
 		if !v.Includes(e.cfg.Self) {
 			kind = DeliverExpelled
 		}
-		return Delivery{Kind: kind, View: v.ID, NewView: v}
+		return Delivery{Kind: kind, View: v.ID, Epoch: v.Epoch, NewView: v}
 	default:
 		e.stats.Delivered++
 		e.m.delivered.Inc()
 		if !it.At.IsZero() {
 			e.m.deliverLatency.ObserveDuration(e.clock.Since(it.At))
 		}
-		if it.View == uint64(e.cv.ID) {
+		if it.View == uint64(e.cv.ID) && it.Epoch == uint64(e.cv.Epoch) {
 			// Keep it in the per-view history for pred sets; purge the
 			// history with the same relation so it holds live items only.
 			e.delivered.PurgeForN(it)
@@ -484,6 +488,7 @@ func (e *Engine) deliverItem(it queue.Item) Delivery {
 		return Delivery{
 			Kind:    DeliverData,
 			View:    ident.ViewID(it.View),
+			Epoch:   ident.Epoch(it.Epoch),
 			Meta:    it.Meta,
 			Payload: it.Payload,
 		}
@@ -531,7 +536,7 @@ func (e *Engine) triggerViewChange(join, leave ident.PIDs) error {
 		// re-request admission and are picked up by the next change.
 		return nil
 	}
-	init := InitMsg{View: e.cv.ID, Leave: leave, Join: join}
+	init := InitMsg{View: e.cv.ID, Epoch: e.cv.Epoch, Leave: leave, Join: join}
 	for _, p := range e.cv.Members {
 		e.send(p, transport.Ctl, init)
 	}
@@ -548,23 +553,31 @@ func (e *Engine) onSuspicion(ev fd.Event) {
 		_ = e.triggerViewChange(nil, ident.NewPIDs(ev.P))
 	}
 	e.checkPropose()
+	e.checkMergePropose()
 }
 
 // ---- t5/t6: ctl handling ---------------------------------------------------
 
 func (e *Engine) onCtl(env transport.Envelope) {
 	if e.expelled {
+		// An expelled-but-alive process still answers merge announcements
+		// with a decline, so a union that names it can proceed without
+		// waiting for suspicion to develop.
+		if m, ok := env.Msg.(MergeMsg); ok && e.cfg.Heal != nil {
+			e.declineMerge(m)
+			return
+		}
 		e.m.dropExpelled.Inc()
 		return
 	}
 	switch m := env.Msg.(type) {
 	case InitMsg:
-		if e.deferFuture(env, m.View) {
+		if e.deferFuture(env, ident.ViewRef{Epoch: m.Epoch, ID: m.View}) {
 			return
 		}
 		e.onInit(env.From, m)
 	case PredMsg:
-		if e.deferFuture(env, m.View) {
+		if e.deferFuture(env, ident.ViewRef{Epoch: m.Epoch, ID: m.View}) {
 			return
 		}
 		e.onPred(env.From, m)
@@ -572,7 +585,7 @@ func (e *Engine) onCtl(env transport.Envelope) {
 		// A grant from another view must not inflate this view's window:
 		// both sides re-arm to a full window at install, so crediting a
 		// stale grant would double-count the slots it stood for.
-		if m.View != e.cv.ID {
+		if m.View != e.cv.ID || m.Epoch != e.cv.Epoch {
 			e.stats.CreditsStaleView++
 			e.m.dropStaleCredit.Inc()
 			e.ev.Drop(obs.DropStaleCredit, slog.String("from", string(env.From)),
@@ -588,6 +601,14 @@ func (e *Engine) onCtl(env transport.Envelope) {
 		e.onJoinReq(env.From)
 	case StateMsg:
 		e.onJoinState(env.From, m)
+	case ProbeMsg:
+		e.onProbe(env.From, m)
+	case SplitMsg:
+		e.onSplit(env.From, m)
+	case MergeMsg:
+		e.onMerge(env.From, m)
+	case MergePredMsg:
+		e.onMergePred(env.From, m)
 	default:
 		// A control envelope of no known kind fell through every case —
 		// before, it vanished without a trace.
@@ -596,28 +617,41 @@ func (e *Engine) onCtl(env transport.Envelope) {
 	}
 }
 
-// maxDeferredCtl bounds the future-view control stash: a backstop against
-// garbage from broken peers. Drops past it are counted in
-// Stats.CtlDeferredDropped.
-const maxDeferredCtl = 4096
-
 // deferFuture stashes a control message for a view this process has not
 // installed yet. A peer that already installed view v may initiate the
 // change to v+1 before we finish installing v ourselves; dropping its INIT
 // would strand it blocked (it cannot retransmit — it blocked itself at
 // t5). The decide flood guarantees we install v shortly, at which point
-// the stashed messages are replayed.
-func (e *Engine) deferFuture(env transport.Envelope, v ident.ViewID) bool {
-	if v <= e.cv.ID {
+// the stashed messages are replayed. The stash is bounded by
+// Config.MaxDeferredCtl as a backstop against garbage from broken peers;
+// drops past it are counted in Stats.CtlDeferredDropped.
+//
+// Cross-lineage traffic is deferred only while an epoch-changing install
+// may be in flight (blocked on a merge decision, or joining — the state
+// transfer may land us in a split epoch); then the replay after the
+// install re-evaluates it under the new epoch. Otherwise a ref from
+// another epoch is not "our future" — it is another partition's
+// view-change chatter, which the merge protocol handles through its own
+// messages — and is dropped as stale rather than stashed against an
+// install that may never come.
+func (e *Engine) deferFuture(env transport.Envelope, ref ident.ViewRef) bool {
+	if ref.Epoch == e.cv.Epoch && ref.ID <= e.cv.ID {
 		return false
 	}
-	if len(e.deferredCtl) < maxDeferredCtl {
+	if ref.Epoch != e.cv.Epoch && !e.blocked && !e.joining {
+		e.stats.DroppedStale++
+		e.m.dropStale.Inc()
+		e.ev.Drop(obs.DropStaleView, slog.String("from", string(env.From)),
+			slog.String("view", ref.String()))
+		return true
+	}
+	if len(e.deferredCtl) < e.cfg.MaxDeferredCtl {
 		e.deferredCtl = append(e.deferredCtl, env)
 	} else {
 		e.stats.CtlDeferredDropped++
 		e.m.dropDefer.Inc()
 		e.ev.Drop(obs.DropDeferOverflow, slog.String("from", string(env.From)),
-			slog.Uint64("view", uint64(v)))
+			slog.Uint64("view", uint64(ref.ID)))
 	}
 	return true
 }
@@ -637,6 +671,14 @@ func (e *Engine) replayDeferred() {
 // onInit is transition t5: block the group, adopt the leave and join
 // sets, compute and disseminate the local pred sequence.
 func (e *Engine) onInit(from ident.PID, m InitMsg) {
+	if e.merge != nil && m.View == e.cv.ID && m.Epoch == e.cv.Epoch && e.cv.Includes(from) {
+		// A member started an ordinary change while we were merging. The
+		// change's quorum is reachable (the INIT got here) but its members
+		// will not answer a merge mid-change — so yield: abort the merge
+		// and join the change. The far side's probes retry the merge once
+		// the change completes.
+		e.abortMerge("view_change")
+	}
 	if m.View != e.cv.ID || e.blocked || e.joining {
 		return
 	}
@@ -662,31 +704,48 @@ func (e *Engine) onInit(from ident.PID, m InitMsg) {
 	// not admitted by the same change.
 	e.join = ident.NewPIDs(m.Join...).Without(e.cv.Members).Without(e.leave)
 
-	pred := PredMsg{View: e.cv.ID, Msgs: e.localPred()}
+	pred := PredMsg{View: e.cv.ID, Epoch: e.cv.Epoch, Msgs: e.localPred(false)}
 	for _, p := range e.cv.Members {
 		e.send(p, transport.Ctl, pred)
 	}
 
 	// Watch for the decision even if we never reach the propose condition
 	// ourselves — the decide flood must still install the view here.
-	nextID := e.cv.ID + 1
-	go func() {
-		raw, err := e.cons.Await(e.rootCtx, viewInstance(nextID))
-		e.pushDecision(nextID, raw, err)
-	}()
+	e.awaitDecision(ident.ViewRef{Epoch: e.cv.Epoch, ID: e.cv.ID + 1})
 	e.checkPropose()
+}
+
+// awaitDecision registers ref as a legitimate successor of the current
+// blocked state and watches its consensus instance for the decide flood.
+// pendingNext is the arbitration ledger of the concurrent-proposal machine:
+// several successors may be pending at once (the ordinary next view, a
+// shrinking series of split continuations, a merge union), and onDecision
+// installs whichever instance decides first — everything else is counted
+// as ignored.
+func (e *Engine) awaitDecision(ref ident.ViewRef) {
+	if e.pendingNext[ref] {
+		return
+	}
+	e.pendingNext[ref] = true
+	go func() {
+		raw, err := e.cons.Await(e.rootCtx, viewInstance(ref))
+		e.pushDecision(ref, raw, err)
+	}()
 }
 
 // localPred is the sequence of data messages this process has accepted to
 // deliver in the current view: delivered history then still-queued, FIFO.
-// Messages known stable (received by every member) are excluded: the SVS
-// obligations for them hold everywhere without flushing.
-func (e *Engine) localPred() []DataMsg {
+// For an ordinary view change messages known stable (received by every
+// member) are excluded — the SVS obligations for them hold everywhere
+// without flushing. A merge contribution keeps them (includeStable): the
+// far side of a healed partition was never counted by this view's stable
+// frontier, so for it "stable" proves nothing.
+func (e *Engine) localPred(includeStable bool) []DataMsg {
 	var out []DataMsg
 	collect := func(it *queue.Item) bool {
-		if it.Kind == queue.Data && it.View == uint64(e.cv.ID) &&
-			!e.isStable(it.Meta.Sender, it.Meta.Seq) {
-			out = append(out, DataMsg{View: e.cv.ID, Meta: it.Meta, Payload: it.Payload})
+		if it.Kind == queue.Data && it.View == uint64(e.cv.ID) && it.Epoch == uint64(e.cv.Epoch) &&
+			(includeStable || !e.isStable(it.Meta.Sender, it.Meta.Seq)) {
+			out = append(out, DataMsg{View: e.cv.ID, Epoch: e.cv.Epoch, Meta: it.Meta, Payload: it.Payload})
 		}
 		return true
 	}
@@ -697,7 +756,7 @@ func (e *Engine) localPred() []DataMsg {
 
 // onPred is transition t6: accumulate pred sequences.
 func (e *Engine) onPred(from ident.PID, m PredMsg) {
-	if m.View != e.cv.ID || !e.cv.Includes(from) {
+	if m.View != e.cv.ID || m.Epoch != e.cv.Epoch || !e.cv.Includes(from) {
 		return
 	}
 	for _, dm := range m.Msgs {
@@ -710,9 +769,12 @@ func (e *Engine) onPred(from ident.PID, m PredMsg) {
 // ---- t7: propose and install ----------------------------------------------
 
 // checkPropose fires the consensus proposal once every unsuspected member's
-// pred set has arrived and they form a majority.
+// pred set has arrived and they form a majority. When every reachable pred
+// is in but a majority is unreachable, the ordinary change can never decide;
+// with healing enabled the reachable minority continues under a split epoch
+// instead of wedging (checkSplit, merge.go).
 func (e *Engine) checkPropose() {
-	if !e.blocked || e.proposed || e.expelled {
+	if !e.blocked || e.proposed || e.expelled || e.merge != nil {
 		return
 	}
 	for _, p := range e.cv.Members {
@@ -721,24 +783,33 @@ func (e *Engine) checkPropose() {
 		}
 	}
 	if 2*len(e.predReceived) <= len(e.cv.Members) {
+		e.checkSplit()
 		return
 	}
 	e.proposed = true
 
 	// Joiners are added verbatim: they have no pred set to contribute and
 	// take no part in the consensus deciding the view that admits them.
-	next := View{ID: e.cv.ID + 1, Members: e.predReceived.Without(e.leave).Union(e.join)}
-	val := consensusValue{Next: next, Pred: sortedPred(e.globalPred)}
+	next := View{Epoch: e.cv.Epoch, ID: e.cv.ID + 1, Members: e.predReceived.Without(e.leave).Union(e.join)}
+	e.propose(consensusValue{Next: next, Pred: sortedPred(e.globalPred)}, e.cv.Members)
+}
+
+// propose encodes val and submits it to the consensus instance named by
+// the next view's ref, with the given participant set. The decision (ours
+// or a competitor's for the same instance) comes back through pushDecision.
+func (e *Engine) propose(val consensusValue, participants ident.PIDs) {
+	ref := val.Next.Ref()
 	raw, err := encodeValue(val)
 	if err != nil {
-		// Unreachable with gob-safe types; surface as a failed decision.
-		e.pushDecision(next.ID, nil, err)
+		// Unreachable with the hand-rolled wire encoder; surface as a
+		// failed decision rather than wedging silently.
+		e.pushDecision(ref, nil, err)
 		return
 	}
-	members := e.cv.Members.Clone()
+	members := participants.Clone()
 	go func() {
-		dec, err := e.cons.Propose(e.rootCtx, viewInstance(next.ID), members, raw)
-		e.pushDecision(next.ID, dec, err)
+		dec, err := e.cons.Propose(e.rootCtx, viewInstance(ref), members, raw)
+		e.pushDecision(ref, dec, err)
 	}()
 }
 
@@ -759,9 +830,9 @@ func sortedPred(m map[obsolete.MsgID]DataMsg) []DataMsg {
 }
 
 // pushDecision forwards a consensus outcome into the loop.
-func (e *Engine) pushDecision(id ident.ViewID, raw []byte, err error) {
+func (e *Engine) pushDecision(ref ident.ViewRef, raw []byte, err error) {
 	var dec decision
-	dec.forView = id
+	dec.forRef = ref
 	if err != nil {
 		dec.err = err
 	} else if raw != nil {
@@ -778,7 +849,11 @@ func (e *Engine) pushDecision(id ident.ViewID, raw []byte, err error) {
 	}
 }
 
-// onDecision installs the agreed view (the tail of t7).
+// onDecision installs the agreed view (the tail of t7) — but only a
+// decision this blocked state is actually waiting on. With concurrent
+// proposals (ordinary successor, split continuations, a merge union) more
+// than one instance can decide; the first pending one wins and every
+// other outcome is counted instead of silently dropped.
 func (e *Engine) onDecision(dec decision) {
 	if dec.err != nil {
 		// A failed outcome where a view decision was expected used to be
@@ -788,14 +863,35 @@ func (e *Engine) onDecision(dec decision) {
 		// flood reaches it, and an operator should be able to see why.
 		if !errors.Is(dec.err, context.Canceled) {
 			e.m.decisionFails.Inc()
-			e.ev.DecisionFailed(uint64(dec.forView), dec.err)
+			e.ev.DecisionFailed(uint64(dec.forRef.ID), dec.err)
 		}
 		return
 	}
-	if !e.blocked || dec.forView != e.cv.ID+1 {
-		return // duplicate (Await and Propose both report)
+	if e.blocked && e.pendingNext[dec.forRef] {
+		e.install(dec.val)
+		return
 	}
-	e.install(dec.val)
+	// Accounted, not installed: the duplicate report of the view we just
+	// installed (Await and Propose both resolve), a decision that lost a
+	// concurrent-proposal race, or a flood arriving after we moved on.
+	switch {
+	case dec.forRef == e.cv.Ref():
+		e.ignoreDecision(dec.forRef, ignoreDuplicate)
+	case !e.blocked:
+		e.ignoreDecision(dec.forRef, ignoreNotBlocked)
+	default:
+		e.ignoreDecision(dec.forRef, ignoreWrongView)
+	}
+}
+
+// ignoreDecision counts and logs a consensus outcome the engine chose not
+// to act on — the paths the old machine silently `return`ed from.
+func (e *Engine) ignoreDecision(ref ident.ViewRef, reason string) {
+	e.stats.DecisionsIgnored++
+	if c := e.m.decisionsIgnored[reason]; c != nil {
+		c.Inc()
+	}
+	e.ev.DecisionIgnored(ref.String(), reason)
 }
 
 func (e *Engine) install(val consensusValue) {
@@ -820,7 +916,10 @@ func (e *Engine) install(val consensusValue) {
 	// Adopt flush messages we have not seen. Messages at or below recvMax
 	// were genuinely received before (reception is FIFO per sender), so
 	// anything missing locally was purged under a justified cover chain;
-	// re-adding it would break per-sender FIFO delivery.
+	// re-adding it would break per-sender FIFO delivery. For a merge
+	// decision the flush carries both sides' backlogs, so this same loop
+	// is what delivers the other partition's relation-surviving messages
+	// before the union-view marker.
 	added := 0
 	for _, dm := range val.Pred {
 		if dm.Meta.Seq <= e.recvMax[dm.Meta.Sender] {
@@ -834,7 +933,7 @@ func (e *Engine) install(val consensusValue) {
 		}
 		e.recvMax[dm.Meta.Sender] = dm.Meta.Seq
 		e.toDeliver.ForceAppend(queue.Item{
-			Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload,
+			Kind: queue.Data, View: uint64(dm.View), Epoch: uint64(dm.Epoch), Meta: dm.Meta, Payload: dm.Payload,
 		})
 		added++
 	}
@@ -842,14 +941,36 @@ func (e *Engine) install(val consensusValue) {
 	e.m.flushAdded.Add(uint64(added))
 
 	// The view marker follows the flush in the delivery queue.
-	e.toDeliver.ForceAppend(queue.Item{Kind: queue.Control, View: uint64(val.Next.ID), Ctl: val.Next.Clone()})
+	e.toDeliver.ForceAppend(queue.Item{
+		Kind: queue.Control, View: uint64(val.Next.ID), Epoch: uint64(val.Next.Epoch), Ctl: val.Next.Clone(),
+	})
 	e.toDeliver.Purge()
 	e.stats.PurgedToDeliver = e.toDeliver.Stats().Purged
 
-	// Dynamic membership: newcomers admitted by this view get a semantic
-	// state transfer from their sponsor. This must read e.delivered and
-	// e.cv before the per-view reset below.
-	e.sendJoinStates(val.Next)
+	if e.merge == nil {
+		// Dynamic membership: newcomers admitted by this view get a
+		// semantic state transfer from their sponsor. This must read
+		// e.delivered and e.cv before the per-view reset below.
+		e.sendJoinStates(val.Next)
+	} else {
+		// Merge install: the "newcomers" are the other side, which already
+		// holds its own state — no sponsor transfer. Adopt the combined
+		// reception frontiers instead (after the flush loop above, which
+		// must see our own frontiers), so stale retransmissions from
+		// either side are recognised as duplicates.
+		for s, q := range val.Recv {
+			if s == e.cfg.Self {
+				if q > e.lastSent {
+					e.lastSent = q
+				}
+				continue
+			}
+			if q > e.recvMax[s] {
+				e.recvMax[s] = q
+			}
+		}
+		e.finishMerge(val)
+	}
 
 	if !val.Next.Includes(e.cfg.Self) {
 		e.expelled = true
@@ -860,17 +981,33 @@ func (e *Engine) install(val consensusValue) {
 		e.multicastQ = nil
 	}
 
+	// Remember who left: they are the processes a healing engine probes,
+	// since only someone we once shared a view with can be the far side of
+	// a healed partition.
+	if e.cfg.Heal != nil && !e.expelled {
+		for _, p := range e.cv.Members.Without(val.Next.Members) {
+			if p != e.cfg.Self {
+				e.former[p] = struct{}{}
+			}
+		}
+		for _, p := range val.Next.Members {
+			delete(e.former, p)
+		}
+	}
+
 	// Reset per-view state.
 	e.delivered = queue.New(e.rel, 0)
 	e.cv = val.Next.Clone()
 	e.viewDirty = true
 	e.blocked = false
 	e.proposed = false
+	e.merge = nil
 	e.join = nil
 	e.leave = nil
 	e.joinSeeded = nil
 	e.globalPred = make(map[obsolete.MsgID]DataMsg)
 	e.predReceived = nil
+	clear(e.pendingNext)
 	e.flow.reset(e.cv.Members)
 	e.resetStabilityForView()
 
@@ -968,10 +1105,15 @@ func (e *Engine) buildJoinState(next View) StateMsg {
 
 	backlog := make([]DataMsg, 0, snap.Len())
 	snap.EachRef(func(it *queue.Item) bool {
-		backlog = append(backlog, DataMsg{View: ident.ViewID(it.View), Meta: it.Meta, Payload: it.Payload})
+		backlog = append(backlog, DataMsg{
+			View: ident.ViewID(it.View), Epoch: ident.Epoch(it.Epoch), Meta: it.Meta, Payload: it.Payload,
+		})
 		return true
 	})
-	return StateMsg{View: next.ID, Members: next.Members.Clone(), Recv: e.recvSnapshot(), Backlog: backlog}
+	return StateMsg{
+		View: next.ID, Epoch: next.Epoch, Members: next.Members.Clone(),
+		Recv: e.recvSnapshot(), Backlog: backlog,
+	}
 }
 
 func (e *Engine) sendJoinState(to ident.PID, st StateMsg, size int) {
@@ -1033,16 +1175,18 @@ func (e *Engine) onJoinState(from ident.PID, m StateMsg) {
 	// here; remember them so their consumption grants no credits.
 	e.joinSeeded = make(map[ident.PID]ident.Seq)
 	for _, dm := range m.Backlog {
-		if dm.View == m.View && dm.Meta.Seq > e.joinSeeded[dm.Meta.Sender] {
+		if dm.View == m.View && dm.Epoch == m.Epoch && dm.Meta.Seq > e.joinSeeded[dm.Meta.Sender] {
 			e.joinSeeded[dm.Meta.Sender] = dm.Meta.Seq
 		}
 		e.toDeliver.ForceAppend(queue.Item{
-			Kind: queue.Data, View: uint64(dm.View), Meta: dm.Meta, Payload: dm.Payload,
+			Kind: queue.Data, View: uint64(dm.View), Epoch: uint64(dm.Epoch), Meta: dm.Meta, Payload: dm.Payload,
 		})
 	}
-	e.cv = View{ID: m.View, Members: members}
+	e.cv = View{Epoch: m.Epoch, ID: m.View, Members: members}
 	e.viewDirty = true
-	e.toDeliver.ForceAppend(queue.Item{Kind: queue.Control, View: uint64(m.View), Ctl: e.cv.Clone()})
+	e.toDeliver.ForceAppend(queue.Item{
+		Kind: queue.Control, View: uint64(m.View), Epoch: uint64(m.Epoch), Ctl: e.cv.Clone(),
+	})
 	e.stats.JoinBacklogRecv = uint64(len(m.Backlog))
 	e.stats.JoinBytesRecv = uint64(size)
 	e.m.joinBytesRecv.Add(uint64(size))

@@ -26,7 +26,8 @@ import (
 
 // StableMsg is the reception-frontier gossip.
 type StableMsg struct {
-	View ident.ViewID
+	View  ident.ViewID
+	Epoch ident.Epoch
 	// Recv maps each sender to the highest sequence number the reporter
 	// has received from it (reception is FIFO, so frontiers are dense).
 	Recv map[ident.PID]ident.Seq
@@ -51,7 +52,7 @@ func (e *Engine) gossipStability() {
 	if e.expelled || e.blocked {
 		return
 	}
-	m := StableMsg{View: e.cv.ID, Recv: e.recvSnapshot()}
+	m := StableMsg{View: e.cv.ID, Epoch: e.cv.Epoch, Recv: e.recvSnapshot()}
 	for _, p := range e.cv.Members {
 		if p == e.cfg.Self {
 			e.onStable(p, m)
@@ -63,7 +64,7 @@ func (e *Engine) gossipStability() {
 
 // onStable folds a frontier report into the stability table.
 func (e *Engine) onStable(from ident.PID, m StableMsg) {
-	if m.View != e.cv.ID || !e.cv.Includes(from) {
+	if m.View != e.cv.ID || m.Epoch != e.cv.Epoch || !e.cv.Includes(from) {
 		return
 	}
 	if e.recvTable == nil {
@@ -109,12 +110,25 @@ func (e *Engine) recomputeStable() {
 
 // pruneStable drops stable entries from the delivery history: they will
 // never need to be flushed, so their payloads can be reclaimed.
+//
+// With healing enabled the current view's entries are exempt: "received
+// by all processes" is a fact about *this view's* members, but a merge
+// contributes the view's non-obsolete backlog to the far side of a
+// healed partition — processes the stable frontier never covered.
+// Relation purging still bounds the retained history at O(window); only
+// flush-adopted entries tagged with older views remain prunable.
 func (e *Engine) pruneStable() {
 	if len(e.stable) == 0 {
 		return
 	}
 	removed := e.delivered.RemoveIf(func(it queue.Item) bool {
-		return it.Kind == queue.Data && e.isStable(it.Meta.Sender, it.Meta.Seq)
+		if it.Kind != queue.Data || !e.isStable(it.Meta.Sender, it.Meta.Seq) {
+			return false
+		}
+		if e.cfg.Heal != nil && it.View == uint64(e.cv.ID) && it.Epoch == uint64(e.cv.Epoch) {
+			return false
+		}
+		return true
 	})
 	e.stats.StablePruned += uint64(removed)
 	e.m.stablePruned.Add(uint64(removed))

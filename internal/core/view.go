@@ -20,26 +20,74 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/ident"
 )
 
-// View is a group membership epoch: a monotonically increasing identifier
-// plus the agreed set of members.
+// View is one group membership agreement: a lineage-aware identifier plus
+// the agreed set of members. Epoch 0 is the founding lineage; within a
+// lineage the ID advances by one per ordinary view change. Splits and
+// merges (partition healing) continue under a fresh epoch derived from
+// the transition, so two sub-views advancing independently never collide
+// on the same (Epoch, ID) pair — and in particular never on the same
+// consensus instance name.
 type View struct {
+	Epoch   ident.Epoch
 	ID      ident.ViewID
 	Members ident.PIDs
 }
 
 // String implements fmt.Stringer.
 func (v View) String() string {
-	return fmt.Sprintf("view %d %v", v.ID, v.Members)
+	if v.Epoch == 0 {
+		return fmt.Sprintf("view %d %v", v.ID, v.Members)
+	}
+	return fmt.Sprintf("view %s %v", v.Ref(), v.Members)
 }
+
+// Ref returns the global name of this view.
+func (v View) Ref() ident.ViewRef { return ident.ViewRef{Epoch: v.Epoch, ID: v.ID} }
 
 // Clone returns an independent copy.
 func (v View) Clone() View {
-	return View{ID: v.ID, Members: v.Members.Clone()}
+	return View{Epoch: v.Epoch, ID: v.ID, Members: v.Members.Clone()}
 }
 
 // Includes reports whether p is a member of v.
 func (v View) Includes(p ident.PID) bool { return v.Members.Contains(p) }
+
+// SplitEpoch derives the epoch under which a minority of parent continues
+// after failing to gather a majority flush: a hash of the parent ref and
+// the surviving member set. Deterministic, so every survivor computes the
+// same epoch, and distinct splits of the same parent (disjoint minorities,
+// or shrinking retries as suspicions accrue) get distinct epochs.
+func SplitEpoch(parent ident.ViewRef, members ident.PIDs) ident.Epoch {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "split/%d/%d", parent.Epoch, parent.ID)
+	for _, p := range members {
+		fmt.Fprintf(h, "/%s", p)
+	}
+	return nonZeroEpoch(h.Sum64())
+}
+
+// MergeEpoch derives the epoch of the union view two healed sub-views
+// agree on. The pair is normalised (lower ref first) so both sides derive
+// the same epoch regardless of who initiated the merge.
+func MergeEpoch(a, b ident.ViewRef) ident.Epoch {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "merge/%d/%d/%d/%d", a.Epoch, a.ID, b.Epoch, b.ID)
+	return nonZeroEpoch(h.Sum64())
+}
+
+// nonZeroEpoch keeps derived epochs out of the reserved founding epoch 0
+// (a 1-in-2^64 hash collision, but the invariant is cheap to keep).
+func nonZeroEpoch(h uint64) ident.Epoch {
+	if h == 0 {
+		h = 1
+	}
+	return ident.Epoch(h)
+}

@@ -10,13 +10,19 @@ import (
 )
 
 // DataMsg is the [DATA, v, d] message of Figure 1: an application payload
-// tagged with the view it was multicast in and the sender's obsolescence
-// metadata.
+// tagged with the view (epoch + id) it was multicast in and the sender's
+// obsolescence metadata. The epoch matters once partitions heal: two
+// sub-views advance view numbers independently, so the bare id no longer
+// distinguishes "current view" from "other lineage's view".
 type DataMsg struct {
 	View    ident.ViewID
+	Epoch   ident.Epoch
 	Meta    obsolete.Msg
 	Payload []byte
 }
+
+// Ref returns the global name of the view m was multicast in.
+func (m DataMsg) Ref() ident.ViewRef { return ident.ViewRef{Epoch: m.Epoch, ID: m.View} }
 
 // DataBatchMsg coalesces a run of DataMsgs from one sender into a single
 // envelope: one channel operation, one inbox deposit and one type switch
@@ -41,6 +47,7 @@ type DataBatchMsg struct {
 // brought up to date afterwards by a StateMsg.
 type InitMsg struct {
 	View  ident.ViewID
+	Epoch ident.Epoch
 	Leave []ident.PID
 	Join  []ident.PID
 }
@@ -61,6 +68,7 @@ type JoinReqMsg struct{}
 // cost is O(window) rather than O(history).
 type StateMsg struct {
 	View    ident.ViewID
+	Epoch   ident.Epoch
 	Members []ident.PID
 	// Recv maps each sender to the highest sequence number the sponsor had
 	// received from it when the snapshot was taken; the joiner adopts it as
@@ -74,8 +82,9 @@ type StateMsg struct {
 // of data messages accepted for delivery in view v (its local-pred set),
 // in FIFO order.
 type PredMsg struct {
-	View ident.ViewID
-	Msgs []DataMsg
+	View  ident.ViewID
+	Epoch ident.Epoch
+	Msgs  []DataMsg
 }
 
 // CreditMsg implements the window-based flow control of the engine: the
@@ -85,7 +94,72 @@ type PredMsg struct {
 // whose cost §5 measures.
 type CreditMsg struct {
 	View    ident.ViewID
+	Epoch   ident.Epoch
 	Credits int
+}
+
+// ProbeMsg is the partition-healing discovery beacon: an unblocked member
+// with healing enabled periodically sends its current view (epoch + id +
+// members) to processes it once shared a view with. A probe from a
+// different lineage reveals a healed partition and starts a merge; a probe
+// from a newer view of the *same* lineage tells a straggler it has been
+// evicted.
+type ProbeMsg struct {
+	View    ident.ViewID
+	Epoch   ident.Epoch
+	Members []ident.PID
+}
+
+// Ref returns the sender's view ref.
+func (m ProbeMsg) Ref() ident.ViewRef { return ident.ViewRef{Epoch: m.Epoch, ID: m.View} }
+
+// SplitMsg is broadcast by the lowest-ordered live member of a blocked
+// view change that cannot reach a majority: the declared survivor set
+// continues as a minority sub-view under a fresh split epoch instead of
+// wedging forever. View/Epoch name the parent (current) view; Members is
+// the survivor set, whose lowest PID must be the declaring leader. As
+// suspicions accrue, successively lower-ordered survivors declare
+// successively smaller sets — the rotating-proposer arbitration between
+// competing continuations; consensus picks exactly one per epoch.
+type SplitMsg struct {
+	View    ident.ViewID
+	Epoch   ident.Epoch
+	Members []ident.PID
+}
+
+// Ref returns the parent view ref the split continues from.
+func (m SplitMsg) Ref() ident.ViewRef { return ident.ViewRef{Epoch: m.Epoch, ID: m.View} }
+
+// MergeSide names one of the two sub-views being merged.
+type MergeSide struct {
+	View    ident.ViewID
+	Epoch   ident.Epoch
+	Members []ident.PID
+}
+
+// Ref returns the side's view ref.
+func (s MergeSide) Ref() ident.ViewRef { return ident.ViewRef{Epoch: s.Epoch, ID: s.View} }
+
+// MergeMsg announces a merge between two healed sub-views and is flooded
+// to their union. The pair is normalised (A.Ref < B.Ref) so every process
+// derives the same union view ref. A member of either side that receives
+// it blocks, re-forwards the announcement, contributes a MergePredMsg and
+// awaits the union-view consensus.
+type MergeMsg struct {
+	A, B MergeSide
+}
+
+// MergePredMsg is one process's contribution to a merge: its local flush
+// set (the messages accepted for delivery in its current view, purged) and
+// its per-sender reception frontiers — the bidirectional analogue of PR 5's
+// StateMsg, O(window) by the same purging argument. Decline is sent by a
+// process that cannot take part (already expelled, or mid-change) so the
+// coordinators can count it out instead of waiting for suspicion.
+type MergePredMsg struct {
+	Merge   ident.ViewRef // the union view ref under decision
+	Decline bool
+	Msgs    []DataMsg
+	Recv    map[ident.PID]ident.Seq
 }
 
 func init() {
@@ -99,6 +173,10 @@ func init() {
 		func(_ *codec.Reader) (JoinReqMsg, error) { return JoinReqMsg{}, nil })
 	codec.Register[StateMsg](codec.TStateMsg, appendStateMsg, readStateMsg)
 	codec.Register[*DataBatchMsg](codec.TDataBatchMsg, appendDataBatchMsg, readDataBatchMsg)
+	codec.Register[ProbeMsg](codec.TProbeMsg, appendProbeMsg, readProbeMsg)
+	codec.Register[SplitMsg](codec.TSplitMsg, appendSplitMsg, readSplitMsg)
+	codec.Register[MergeMsg](codec.TMergeMsg, appendMergeMsg, readMergeMsg)
+	codec.Register[MergePredMsg](codec.TMergePredMsg, appendMergePredMsg, readMergePredMsg)
 }
 
 // ---- binary encoders (internal/codec) --------------------------------------
@@ -119,6 +197,7 @@ func capHint(n int) int {
 
 func appendDataMsg(dst []byte, m DataMsg) []byte {
 	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
 	dst = codec.AppendString(dst, string(m.Meta.Sender))
 	dst = codec.AppendUvarint(dst, uint64(m.Meta.Seq))
 	dst = codec.AppendBytes(dst, m.Meta.Annot)
@@ -128,6 +207,7 @@ func appendDataMsg(dst []byte, m DataMsg) []byte {
 func readDataMsg(r *codec.Reader) DataMsg {
 	var m DataMsg
 	m.View = ident.ViewID(r.Uvarint())
+	m.Epoch = ident.Epoch(r.Uvarint())
 	m.Meta.Sender = ident.PID(r.String())
 	m.Meta.Seq = ident.Seq(r.Uvarint())
 	m.Meta.Annot = r.Bytes()
@@ -151,6 +231,7 @@ func readDataBatchMsg(r *codec.Reader) (*DataBatchMsg, error) {
 
 func appendInitMsg(dst []byte, m InitMsg) []byte {
 	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
 	dst = appendPIDs(dst, m.Leave)
 	return appendPIDs(dst, m.Join)
 }
@@ -158,6 +239,7 @@ func appendInitMsg(dst []byte, m InitMsg) []byte {
 func readInitMsg(r *codec.Reader) (InitMsg, error) {
 	var m InitMsg
 	m.View = ident.ViewID(r.Uvarint())
+	m.Epoch = ident.Epoch(r.Uvarint())
 	m.Leave = readPIDs(r)
 	m.Join = readPIDs(r)
 	return m, r.Err()
@@ -183,49 +265,145 @@ func readPIDs(r *codec.Reader) []ident.PID {
 	return out
 }
 
-// appendStateMsg encodes the frontier map with sorted keys so the encoding
-// is deterministic across processes (and its size comparable in tests).
-func appendStateMsg(dst []byte, m StateMsg) []byte {
-	dst = codec.AppendUvarint(dst, uint64(m.View))
-	dst = appendPIDs(dst, m.Members)
-	dst = codec.AppendCount(dst, len(m.Recv), m.Recv == nil)
-	keys := make([]ident.PID, 0, len(m.Recv))
-	for p := range m.Recv {
+// appendSeqMap encodes a per-sender frontier map with sorted keys so the
+// encoding is deterministic across processes (and its size comparable in
+// tests).
+func appendSeqMap(dst []byte, m map[ident.PID]ident.Seq) []byte {
+	dst = codec.AppendCount(dst, len(m), m == nil)
+	keys := make([]ident.PID, 0, len(m))
+	for p := range m {
 		keys = append(keys, p)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, p := range keys {
 		dst = codec.AppendString(dst, string(p))
-		dst = codec.AppendUvarint(dst, uint64(m.Recv[p]))
+		dst = codec.AppendUvarint(dst, uint64(m[p]))
 	}
+	return dst
+}
+
+func readSeqMap(r *codec.Reader) map[ident.PID]ident.Seq {
+	n, isNil := r.Count()
+	if isNil {
+		return nil
+	}
+	m := make(map[ident.PID]ident.Seq, capHint(n))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		p := ident.PID(r.String())
+		m[p] = ident.Seq(r.Uvarint())
+	}
+	return m
+}
+
+func appendStateMsg(dst []byte, m StateMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
+	dst = appendPIDs(dst, m.Members)
+	dst = appendSeqMap(dst, m.Recv)
 	return appendDataMsgs(dst, m.Backlog)
 }
 
 func readStateMsg(r *codec.Reader) (StateMsg, error) {
 	var m StateMsg
 	m.View = ident.ViewID(r.Uvarint())
+	m.Epoch = ident.Epoch(r.Uvarint())
 	m.Members = readPIDs(r)
-	if n, isNil := r.Count(); !isNil {
-		m.Recv = make(map[ident.PID]ident.Seq, capHint(n))
-		for i := 0; i < n && r.Err() == nil; i++ {
-			p := ident.PID(r.String())
-			m.Recv[p] = ident.Seq(r.Uvarint())
-		}
-	}
+	m.Recv = readSeqMap(r)
 	m.Backlog = readDataMsgs(r)
 	return m, r.Err()
 }
 
 func appendPredMsg(dst []byte, m PredMsg) []byte {
 	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
 	return appendDataMsgs(dst, m.Msgs)
 }
 
 func readPredMsg(r *codec.Reader) (PredMsg, error) {
 	var m PredMsg
 	m.View = ident.ViewID(r.Uvarint())
+	m.Epoch = ident.Epoch(r.Uvarint())
 	m.Msgs = readDataMsgs(r)
 	return m, r.Err()
+}
+
+func appendProbeMsg(dst []byte, m ProbeMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
+	return appendPIDs(dst, m.Members)
+}
+
+func readProbeMsg(r *codec.Reader) (ProbeMsg, error) {
+	var m ProbeMsg
+	m.View = ident.ViewID(r.Uvarint())
+	m.Epoch = ident.Epoch(r.Uvarint())
+	m.Members = readPIDs(r)
+	return m, r.Err()
+}
+
+func appendSplitMsg(dst []byte, m SplitMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
+	return appendPIDs(dst, m.Members)
+}
+
+func readSplitMsg(r *codec.Reader) (SplitMsg, error) {
+	var m SplitMsg
+	m.View = ident.ViewID(r.Uvarint())
+	m.Epoch = ident.Epoch(r.Uvarint())
+	m.Members = readPIDs(r)
+	return m, r.Err()
+}
+
+func appendMergeSide(dst []byte, s MergeSide) []byte {
+	dst = codec.AppendUvarint(dst, uint64(s.View))
+	dst = codec.AppendUvarint(dst, uint64(s.Epoch))
+	return appendPIDs(dst, s.Members)
+}
+
+func readMergeSide(r *codec.Reader) MergeSide {
+	var s MergeSide
+	s.View = ident.ViewID(r.Uvarint())
+	s.Epoch = ident.Epoch(r.Uvarint())
+	s.Members = readPIDs(r)
+	return s
+}
+
+func appendMergeMsg(dst []byte, m MergeMsg) []byte {
+	dst = appendMergeSide(dst, m.A)
+	return appendMergeSide(dst, m.B)
+}
+
+func readMergeMsg(r *codec.Reader) (MergeMsg, error) {
+	var m MergeMsg
+	m.A = readMergeSide(r)
+	m.B = readMergeSide(r)
+	return m, r.Err()
+}
+
+func appendMergePredMsg(dst []byte, m MergePredMsg) []byte {
+	dst = codec.AppendUvarint(dst, uint64(m.Merge.Epoch))
+	dst = codec.AppendUvarint(dst, uint64(m.Merge.ID))
+	dst = codec.AppendByte(dst, boolByte(m.Decline))
+	dst = appendDataMsgs(dst, m.Msgs)
+	return appendSeqMap(dst, m.Recv)
+}
+
+func readMergePredMsg(r *codec.Reader) (MergePredMsg, error) {
+	var m MergePredMsg
+	m.Merge.Epoch = ident.Epoch(r.Uvarint())
+	m.Merge.ID = ident.ViewID(r.Uvarint())
+	m.Decline = r.Byte() != 0
+	m.Msgs = readDataMsgs(r)
+	m.Recv = readSeqMap(r)
+	return m, r.Err()
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func appendDataMsgs(dst []byte, msgs []DataMsg) []byte {
@@ -250,68 +428,60 @@ func readDataMsgs(r *codec.Reader) []DataMsg {
 
 func appendCreditMsg(dst []byte, m CreditMsg) []byte {
 	dst = codec.AppendUvarint(dst, uint64(m.View))
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
 	return codec.AppendVarint(dst, int64(m.Credits))
 }
 
 func readCreditMsg(r *codec.Reader) (CreditMsg, error) {
 	var m CreditMsg
 	m.View = ident.ViewID(r.Uvarint())
+	m.Epoch = ident.Epoch(r.Uvarint())
 	m.Credits = int(r.Varint())
 	return m, r.Err()
 }
 
-// appendStableMsg encodes the frontier map with sorted keys so the
-// encoding is deterministic across processes.
 func appendStableMsg(dst []byte, m StableMsg) []byte {
 	dst = codec.AppendUvarint(dst, uint64(m.View))
-	dst = codec.AppendCount(dst, len(m.Recv), m.Recv == nil)
-	keys := make([]ident.PID, 0, len(m.Recv))
-	for p := range m.Recv {
-		keys = append(keys, p)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, p := range keys {
-		dst = codec.AppendString(dst, string(p))
-		dst = codec.AppendUvarint(dst, uint64(m.Recv[p]))
-	}
-	return dst
+	dst = codec.AppendUvarint(dst, uint64(m.Epoch))
+	return appendSeqMap(dst, m.Recv)
 }
 
 func readStableMsg(r *codec.Reader) (StableMsg, error) {
 	var m StableMsg
 	m.View = ident.ViewID(r.Uvarint())
-	if n, isNil := r.Count(); !isNil {
-		m.Recv = make(map[ident.PID]ident.Seq, capHint(n))
-		for i := 0; i < n && r.Err() == nil; i++ {
-			p := ident.PID(r.String())
-			m.Recv[p] = ident.Seq(r.Uvarint())
-		}
-	}
+	m.Epoch = ident.Epoch(r.Uvarint())
+	m.Recv = readSeqMap(r)
 	return m, r.Err()
 }
 
 // ---- consensus value -------------------------------------------------------
 
-// consensusValue is the pair agreed by the view-change consensus: the next
-// view and the flush set (pred-view) to deliver before installing it.
+// consensusValue is the tuple agreed by the view-change consensus: the
+// next view (epoch + id + members), the flush set (pred-view) to deliver
+// before installing it, and — for merge decisions only — the combined
+// per-sender reception frontiers both sides advance to (nil otherwise).
 type consensusValue struct {
 	Next View
 	Pred []DataMsg
+	Recv map[ident.PID]ident.Seq
 }
 
 // valueFormat versions the consensus value encoding; bumping it rejects
 // payloads from incompatible releases instead of mis-decoding them.
-const valueFormat byte = 1
+// Format 2 added the lineage epoch and the merge frontier map.
+const valueFormat byte = 2
 
 func encodeValue(v consensusValue) ([]byte, error) {
 	dst := make([]byte, 0, 64+32*len(v.Pred))
 	dst = codec.AppendByte(dst, valueFormat)
 	dst = codec.AppendUvarint(dst, uint64(v.Next.ID))
+	dst = codec.AppendUvarint(dst, uint64(v.Next.Epoch))
 	dst = codec.AppendCount(dst, len(v.Next.Members), v.Next.Members == nil)
 	for _, p := range v.Next.Members {
 		dst = codec.AppendString(dst, string(p))
 	}
-	return appendDataMsgs(dst, v.Pred), nil
+	dst = appendDataMsgs(dst, v.Pred)
+	return appendSeqMap(dst, v.Recv), nil
 }
 
 func decodeValue(p []byte) (consensusValue, error) {
@@ -321,6 +491,7 @@ func decodeValue(p []byte) (consensusValue, error) {
 	}
 	var v consensusValue
 	v.Next.ID = ident.ViewID(r.Uvarint())
+	v.Next.Epoch = ident.Epoch(r.Uvarint())
 	if n, isNil := r.Count(); !isNil {
 		members := make([]ident.PID, 0, capHint(n))
 		for i := 0; i < n && r.Err() == nil; i++ {
@@ -329,13 +500,17 @@ func decodeValue(p []byte) (consensusValue, error) {
 		v.Next.Members = ident.PIDs(members)
 	}
 	v.Pred = readDataMsgs(r)
+	v.Recv = readSeqMap(r)
 	if err := r.Close(); err != nil {
 		return consensusValue{}, fmt.Errorf("core: decode consensus value: %w", err)
 	}
 	return v, nil
 }
 
-// viewInstance names the consensus instance deciding view id.
-func viewInstance(id ident.ViewID) string {
-	return fmt.Sprintf("svs-view/%d", id)
+// viewInstance names the consensus instance deciding the view ref. The
+// epoch is part of the name — that is the point of lineage-aware identity:
+// two partitions independently deciding their next view run *different*
+// consensus instances instead of colliding on "svs-view/<id+1>".
+func viewInstance(ref ident.ViewRef) string {
+	return fmt.Sprintf("svs-view/%x/%d", uint64(ref.Epoch), uint64(ref.ID))
 }

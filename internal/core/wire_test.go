@@ -68,8 +68,11 @@ func TestEmptyViewValueRoundTrip(t *testing.T) {
 }
 
 func TestViewInstanceNaming(t *testing.T) {
-	if viewInstance(3) == viewInstance(4) {
+	if viewInstance(ident.ViewRef{ID: 3}) == viewInstance(ident.ViewRef{ID: 4}) {
 		t.Fatal("instance names must be distinct per view")
+	}
+	if viewInstance(ident.ViewRef{Epoch: 7, ID: 3}) == viewInstance(ident.ViewRef{ID: 3}) {
+		t.Fatal("instance names must be distinct per lineage")
 	}
 }
 

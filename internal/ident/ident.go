@@ -6,7 +6,10 @@
 // be printed, compared, sorted and gob-encoded without ceremony.
 package ident
 
-import "sort"
+import (
+	"sort"
+	"strconv"
+)
 
 // PID identifies a process (a group member). PIDs are opaque strings chosen
 // by the deployment ("p1", "replica-3", "10.0.0.7:9000", ...). The protocol
@@ -30,9 +33,46 @@ type GroupID uint32
 // group under this identifier.
 const NodeGroup GroupID = 0
 
-// ViewID numbers the views installed by a group. View identifiers grow
-// monotonically; view i+1 is always the successor of view i.
+// ViewID numbers the views installed by a group. At any single process
+// view identifiers grow strictly monotonically, but since partitioned
+// sub-views may keep advancing independently, a bare ViewID no longer
+// names a view globally — the pair (Epoch, ViewID) does. See ViewRef.
 type ViewID uint64
+
+// Epoch identifies a view lineage. All views reachable from the founding
+// view through ordinary (majority) view changes share epoch 0; a minority
+// continuing through a split, or two sub-views merging after a partition
+// heals, derive a fresh epoch from a hash of the transition so that
+// independently advancing lineages can never collide on the same
+// (Epoch, ViewID) pair.
+type Epoch uint64
+
+// ViewRef names one view globally: the lineage it belongs to plus its
+// position within the lineage. ViewRef is comparable and usable as a map
+// key.
+type ViewRef struct {
+	Epoch Epoch
+	ID    ViewID
+}
+
+// Less orders refs by (Epoch, ID); used only to normalise unordered
+// pairs (e.g. the two sides of a merge), not as a causal order.
+func (r ViewRef) Less(o ViewRef) bool {
+	if r.Epoch != o.Epoch {
+		return r.Epoch < o.Epoch
+	}
+	return r.ID < o.ID
+}
+
+// String implements fmt.Stringer: "e<epoch-hex>/v<id>"; the founding
+// lineage prints as plain "v<id>".
+func (r ViewRef) String() string {
+	if r.Epoch == 0 {
+		return "v" + strconv.FormatUint(uint64(r.ID), 10)
+	}
+	return "e" + strconv.FormatUint(uint64(r.Epoch), 16) +
+		"/v" + strconv.FormatUint(uint64(r.ID), 10)
+}
 
 // Seq is a per-sender message sequence number. The first message multicast
 // by a sender carries Seq 1; Seq 0 is reserved to mean "no message".

@@ -176,3 +176,49 @@ func (e *Events) DecisionFailed(view uint64, err error) {
 		slog.Uint64("view", view),
 		slog.String("err", err.Error()))
 }
+
+// DecisionIgnored reports a consensus decision that arrived but was not
+// installed — a duplicate, a decision landing while unblocked, or the
+// losing branch of concurrent view proposals.
+func (e *Events) DecisionIgnored(view string, reason string) {
+	e.emit(slog.LevelDebug, "decision_ignored",
+		slog.String("view", view),
+		slog.String("reason", reason))
+}
+
+// SplitDeclared reports a blocked minority declaring its continuation as a
+// sub-view under a fresh lineage epoch.
+func (e *Events) SplitDeclared(view string, members int) {
+	e.emit(slog.LevelWarn, "split_declared",
+		slog.String("view", view),
+		slog.Int("members", members))
+}
+
+// MergeStarted reports a partition merge beginning: the union view under
+// decision and the two sides being joined.
+func (e *Events) MergeStarted(view, sideA, sideB string, union int) {
+	e.emit(slog.LevelInfo, "merge_started",
+		slog.String("view", view),
+		slog.String("side_a", sideA),
+		slog.String("side_b", sideB),
+		slog.Int("union", union))
+}
+
+// MergeComplete reports a union view installing, with the flush-set size,
+// the contribution bytes received and the handshake duration.
+func (e *Events) MergeComplete(view string, members, flush, bytes int, took time.Duration) {
+	e.emit(slog.LevelInfo, "merge_complete",
+		slog.String("view", view),
+		slog.Int("members", members),
+		slog.Int("flush", flush),
+		slog.Int("bytes", bytes),
+		slog.Duration("took", took))
+}
+
+// MergeAborted reports a merge abandoned before its union view decided;
+// the engine unblocks and retries on a later probe.
+func (e *Events) MergeAborted(view string, reason string) {
+	e.emit(slog.LevelWarn, "merge_aborted",
+		slog.String("view", view),
+		slog.String("reason", reason))
+}

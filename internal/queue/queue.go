@@ -57,6 +57,13 @@ type Item struct {
 	// View tags the view in which a data message was multicast; purge only
 	// relates messages of the same view (Figure 1, purge()).
 	View uint64
+	// Epoch is the lineage of that view (0 for the founding lineage). It
+	// rides along so deliveries report the true global view name even for
+	// entries adopted across a partition merge; the queue itself never
+	// inspects it — purging already only relates same-(view, sender)
+	// streams appended by one engine, which never mixes epochs under one
+	// view number.
+	Epoch uint64
 	// Meta carries sender, sequence number and obsolescence annotation.
 	Meta obsolete.Msg
 	// Payload is the opaque application payload of a data message.

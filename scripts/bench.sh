@@ -5,11 +5,12 @@
 #
 # Two benchmark classes are run differently:
 #
-#   figures — the Fig3–Fig5 scenario replays plus the join state-transfer
-#     scenario. Each iteration replays a full recorded session, so one
-#     iteration is the measurement and ns/op is not a latency figure; they
-#     run at -benchtime 1x and their custom metrics (thresholds, idle%,
-#     occupancy, xfer-bytes) are the payload.
+#   figures — the Fig3–Fig5 scenario replays plus the join and merge
+#     state-transfer scenarios. Each iteration replays a full recorded
+#     session (or a full partition/heal cycle), so one iteration is the
+#     measurement and ns/op is not a latency figure; they run at
+#     -benchtime 1x and their custom metrics (thresholds, idle%,
+#     occupancy, xfer-bytes, merge-bytes) are the payload.
 #   micro — the hot-path microbenchmarks (wire codec, engine multicast,
 #     multi-group node throughput, view change, queue purge/pop).
 #     Single-iteration numbers are noise here, so they run at a fixed
@@ -37,7 +38,7 @@ trap 'rm -f "$RAW_FIG" "$RAW_MICRO" "$RAW_SAT"' EXIT
 # failing benchmark aborts the script under set -e instead of silently
 # producing an incomplete JSON.
 echo "== figures (scenario replays, -benchtime 1x) =="
-go test -run '^$' -bench 'BenchmarkFig|BenchmarkJoinStateTransfer' -benchtime 1x . > "$RAW_FIG" 2>&1 || {
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkJoinStateTransfer|BenchmarkMergeStateTransfer' -benchtime 1x . > "$RAW_FIG" 2>&1 || {
     cat "$RAW_FIG" >&2
     exit 1
 }
@@ -97,7 +98,7 @@ emit_entries() {
     printf '{\n'
     printf '  "source": "scripts/bench.sh",\n'
     printf '  "runs": {\n'
-    printf '    "figures": {"benchtime": "1x", "count": 1, "note": "Fig3-Fig5 scenario replays and the join state transfer: one iteration replays a whole recorded session; the custom metrics are the measurement, ns/op is not a hot-path latency"},\n'
+    printf '    "figures": {"benchtime": "1x", "count": 1, "note": "Fig3-Fig5 scenario replays plus the join and merge state transfers: one iteration replays a whole recorded session (or a full partition/heal cycle); the custom metrics are the measurement, ns/op is not a hot-path latency. The merge pair shows the semantic contribution staying O(window) while the reliable baseline carries the whole divergent history"},\n'
     printf '    "micro": {"benchtime": "%s", "count": %s, "note": "hot-path microbenchmarks: fixed iteration count, per-metric means over count runs"},\n' "$MICRO_BENCHTIME" "$MICRO_COUNT"
     printf '    "saturation": {"benchtime": "%s", "count": 1, "note": "batched data-plane saturation grid: agg-msgs/s is aggregate delivered multicast throughput across groups x senders; allocs/op must stay 0 on the members=2/groups=1 steady-state point"}\n' "$SAT_BENCHTIME"
     printf '  },\n'

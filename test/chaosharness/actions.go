@@ -31,6 +31,18 @@ const (
 	// exercising flow control and semantic purging against a slow
 	// consumer.
 	ActBlock
+	// ActHeal cuts a minority of Group's members (Nodes) away from the
+	// rest for Ms milliseconds, long enough for both sides to form
+	// separate views (the majority evicts, the minority splits into its
+	// own lineage), then heals the links so the sides merge back into a
+	// union view. Membership is unchanged end to end. Requires nodes
+	// running with healing enabled (Options.Heal).
+	ActHeal
+	// ActReboot crash-stops a majority of Group's members (Nodes) at
+	// once: the surviving minority re-forms as a split view in a new
+	// lineage, and fresh incarnations (Repls) join it to restore the
+	// group's size. Requires healing enabled.
+	ActReboot
 )
 
 func (k ActionKind) String() string {
@@ -49,6 +61,10 @@ func (k ActionKind) String() string {
 		return "partition"
 	case ActBlock:
 		return "block"
+	case ActHeal:
+		return "heal"
+	case ActReboot:
+		return "reboot"
 	default:
 		return fmt.Sprintf("action(%d)", int(k))
 	}
@@ -59,10 +75,12 @@ type Action struct {
 	Kind   ActionKind
 	Node   string
 	Group  int
-	Groups []int  // ActRestart: groups the replacement joins
-	Count  int    // ActMcast
-	Ms     int    // ActPartition / ActBlock duration
-	Repl   string // ActPartition: name of the post-heal replacement joiner
+	Groups []int    // ActRestart: groups the replacement joins
+	Count  int      // ActMcast
+	Ms     int      // ActPartition / ActBlock / ActHeal duration
+	Repl   string   // ActPartition: name of the post-heal replacement joiner
+	Nodes  []string // ActHeal: minority side; ActReboot: processes rebooted
+	Repls  []string // ActReboot: names of the replacement incarnations
 }
 
 func (a Action) String() string {
@@ -81,6 +99,10 @@ func (a Action) String() string {
 		return fmt.Sprintf("partition node=%s ms=%d repl=%s", a.Node, a.Ms, a.Repl)
 	case ActBlock:
 		return fmt.Sprintf("block node=%s group=%d ms=%d", a.Node, a.Group, a.Ms)
+	case ActHeal:
+		return fmt.Sprintf("heal group=%d minority=%v ms=%d", a.Group, a.Nodes, a.Ms)
+	case ActReboot:
+		return fmt.Sprintf("reboot group=%d nodes=%v repls=%v", a.Group, a.Nodes, a.Repls)
 	}
 	return a.Kind.String()
 }
@@ -89,6 +111,12 @@ func (a Action) String() string {
 type GenConfig struct {
 	Nodes  int // founding processes (default 4)
 	Groups int // groups, all founded by all initial nodes (default 2)
+	// Heal adds partition-healing actions (ActHeal, ActReboot) to the
+	// stream. The cluster must run with Options.Heal: without it a split
+	// minority blocks forever instead of re-forming, and the schedule
+	// cannot converge. Disabled, the stream layout is byte-identical to
+	// the pre-healing generator for the same seed.
+	Heal bool
 }
 
 func (c *GenConfig) defaults() {
@@ -269,7 +297,7 @@ func Gen(seed int64, n int, cfg GenConfig) []Action {
 				sort.Strings(m.members[g])
 			}
 
-		case w < 92: // partition: isolate one process, then heal
+		case w < 88 || (!cfg.Heal && w < 92): // partition: isolate one process, then heal
 			cands := aliveSorted()
 			name := pick(rng, cands)
 			if !m.disruptable(name) {
@@ -289,6 +317,81 @@ func Gen(seed int64, n int, cfg GenConfig) []Action {
 				m.members[g] = append(m.members[g], repl)
 				sort.Strings(m.members[g])
 			}
+
+		case cfg.Heal && w < 94: // heal: split a minority away, then merge back
+			g := randGroup()
+			ms := m.members[g]
+			if len(ms) < 4 {
+				continue
+			}
+			// Strict minority: the remainder must keep a majority quorum
+			// so it shrinks by eviction while the cut side splits.
+			k := 1 + rng.Intn((len(ms)-1)/2)
+			perm := rng.Perm(len(ms))
+			nodes := make([]string, 0, k)
+			for _, i := range perm[:k] {
+				nodes = append(nodes, ms[i])
+			}
+			sort.Strings(nodes)
+			a = Action{Kind: ActHeal, Group: g, Nodes: nodes, Ms: 400 + rng.Intn(300)}
+			// Membership is unchanged once the sides merge back: no model
+			// update.
+
+		case cfg.Heal && w < 96: // reboot: crash a majority, survivors split, replacements join
+			g := randGroup()
+			ms := m.members[g]
+			if len(ms) < 4 {
+				continue
+			}
+			q := len(ms)/2 + 1
+			if len(m.alive) <= q {
+				continue
+			}
+			perm := rng.Perm(len(ms))
+			victims := make([]string, 0, q)
+			for _, i := range perm[:q] {
+				victims = append(victims, ms[i])
+			}
+			sort.Strings(victims)
+			// Every group a victim belongs to must keep at least one
+			// member to carry its lineage forward.
+			ok := true
+			dead := make(map[string]bool, q)
+			for _, v := range victims {
+				dead[v] = true
+			}
+			for h, hm := range m.members {
+				left := 0
+				for _, p := range hm {
+					if !dead[p] {
+						left++
+					}
+				}
+				if left == 0 && len(hm) > 0 {
+					ok = false
+					_ = h
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			repls := make([]string, q)
+			for i := range repls {
+				repls[i] = m.fresh()
+			}
+			a = Action{Kind: ActReboot, Group: g, Nodes: victims, Repls: repls}
+			for _, v := range victims {
+				for _, h := range m.groupsOf(v) {
+					m.remove(v, h)
+				}
+				delete(m.alive, v)
+			}
+			for _, repl := range repls {
+				m.alive[repl] = true
+				m.members[g] = append(m.members[g], repl)
+			}
+			sort.Strings(m.members[g])
 
 		default: // flow-block a consumer for a while
 			g := randGroup()

@@ -47,6 +47,39 @@ func TestGenCoversAllKinds(t *testing.T) {
 			t.Errorf("kind %s never generated in 500 actions", k)
 		}
 	}
+	if seen[ActHeal] != 0 || seen[ActReboot] != 0 {
+		t.Errorf("healing actions generated without GenConfig.Heal: %d heal, %d reboot",
+			seen[ActHeal], seen[ActReboot])
+	}
+
+	seen = make(map[ActionKind]int)
+	for _, a := range Gen(7, 800, GenConfig{Nodes: 5, Groups: 2, Heal: true}) {
+		seen[a.Kind]++
+	}
+	for _, k := range []ActionKind{ActMcast, ActJoin, ActLeave, ActKill,
+		ActRestart, ActPartition, ActBlock, ActHeal, ActReboot} {
+		if seen[k] == 0 {
+			t.Errorf("kind %s never generated in 800 healing actions", k)
+		}
+	}
+}
+
+// TestGenHealActionsWellFormed: every healing action must be applicable
+// as scheduled — a heal's minority must be a strict minority of the
+// group, a reboot must kill a majority yet leave a survivor.
+func TestGenHealActionsWellFormed(t *testing.T) {
+	for _, a := range Gen(13, 800, GenConfig{Nodes: 6, Groups: 2, Heal: true}) {
+		switch a.Kind {
+		case ActHeal:
+			if len(a.Nodes) == 0 || a.Ms <= 0 {
+				t.Fatalf("malformed heal: %s", a)
+			}
+		case ActReboot:
+			if len(a.Nodes) == 0 || len(a.Repls) != len(a.Nodes) {
+				t.Fatalf("malformed reboot: %s", a)
+			}
+		}
+	}
 }
 
 // TestGenNamesNeverReused: every spawn — join, restart, partition
@@ -57,7 +90,7 @@ func TestGenNamesNeverReused(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		used[NodeName(i)] = true
 	}
-	for _, a := range Gen(11, 500, GenConfig{Nodes: 5, Groups: 2}) {
+	for _, a := range Gen(11, 500, GenConfig{Nodes: 5, Groups: 2, Heal: true}) {
 		switch a.Kind {
 		case ActJoin, ActRestart:
 			if used[a.Node] {
@@ -69,6 +102,13 @@ func TestGenNamesNeverReused(t *testing.T) {
 				t.Fatalf("%s reuses replacement name %s", a, a.Repl)
 			}
 			used[a.Repl] = true
+		case ActReboot:
+			for _, repl := range a.Repls {
+				if used[repl] {
+					t.Fatalf("%s reuses replacement name %s", a, repl)
+				}
+				used[repl] = true
+			}
 		}
 	}
 }

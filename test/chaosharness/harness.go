@@ -50,6 +50,12 @@ type Options struct {
 	// Heartbeat is the failure-detector beat interval (timeout is 5x);
 	// partitions must outlast the timeout to cause eviction.
 	Heartbeat time.Duration
+
+	// Heal enables partition healing on every node (-heal): split
+	// minorities re-form in their own lineage and merge back when the
+	// network allows, instead of blocking until expelled. Required for
+	// schedules generated with GenConfig.Heal.
+	Heal bool
 }
 
 func (o *Options) defaults() {
@@ -117,7 +123,7 @@ func (c *Cluster) Start(name string) (*Proc, error) {
 	if err != nil {
 		return nil, err
 	}
-	cmd := exec.Command(c.opt.Bin,
+	args := []string{
 		"-self", name,
 		"-listen", "127.0.0.1:0",
 		"-ctl", "127.0.0.1:0",
@@ -126,7 +132,11 @@ func (c *Cluster) Start(name string) (*Proc, error) {
 		"-buffer", fmt.Sprint(c.opt.Buffer),
 		"-seed", fmt.Sprint(seed),
 		"-hb", c.opt.Heartbeat.String(),
-	)
+	}
+	if c.opt.Heal {
+		args = append(args, "-heal")
+	}
+	cmd := exec.Command(c.opt.Bin, args...)
 	cmd.Stderr = stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -348,6 +358,7 @@ func (c *Cluster) Post(name, path string, body any) error {
 // GroupStats mirrors the driver's /stats response.
 type GroupStats struct {
 	View      uint64   `json:"view"`
+	Epoch     uint64   `json:"epoch"`
 	Members   []string `json:"members"`
 	Joining   bool     `json:"joining"`
 	Expelled  bool     `json:"expelled"`

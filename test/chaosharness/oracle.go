@@ -19,10 +19,16 @@ type logEvent struct {
 	P       string   `json:"p"`
 	G       uint32   `json:"g"`
 	View    uint64   `json:"view"`
+	Epoch   uint64   `json:"epoch,omitempty"` // lineage epoch (0 = founding lineage)
 	Sender  string   `json:"sender,omitempty"`
 	Seq     uint64   `json:"seq,omitempty"`
 	Annot   string   `json:"annot,omitempty"` // base64
 	Members []string `json:"members,omitempty"`
+}
+
+// ref is the lineage-aware view reference of the record.
+func (e logEvent) ref() ident.ViewRef {
+	return ident.ViewRef{Epoch: ident.Epoch(e.Epoch), ID: ident.ViewID(e.View)}
 }
 
 func (e logEvent) meta() (obsolete.Msg, error) {
@@ -120,7 +126,7 @@ func Check(rel obsolete.Relation, logPaths []string, killed map[string]bool, see
 					fail("%s:%d: %v", path, line, err)
 					continue
 				}
-				gs.rec.Multicast(meta, ident.ViewID(e.View))
+				gs.rec.MulticastRef(meta, e.ref())
 				gs.mcast[meta.ID()] = true
 			case "deliver":
 				meta, err := e.meta()
@@ -128,12 +134,12 @@ func Check(rel obsolete.Relation, logPaths []string, killed map[string]bool, see
 					fail("%s:%d: %v", path, line, err)
 					continue
 				}
-				gs.rec.Deliver(ident.PID(e.P), meta, ident.ViewID(e.View))
+				gs.rec.DeliverRef(ident.PID(e.P), meta, e.ref())
 				if _, ok := gs.delivered[meta.ID()]; !ok {
 					gs.delivered[meta.ID()] = e
 				}
 			case "install":
-				gs.rec.Install(ident.PID(e.P), ident.ViewID(e.View), pidsOf(e.Members))
+				gs.rec.InstallRef(ident.PID(e.P), e.ref(), pidsOf(e.Members))
 			case "expelled":
 				// Informational only: the member's constraints simply end.
 			default:
@@ -170,7 +176,7 @@ func Check(rel obsolete.Relation, logPaths []string, killed map[string]bool, see
 			if err != nil {
 				continue // already reported during the parse
 			}
-			gs.rec.Multicast(meta, ident.ViewID(e.View))
+			gs.rec.MulticastRef(meta, e.ref())
 			gs.mcast[id] = true
 		}
 		for _, err := range gs.rec.Verify() {

@@ -152,6 +152,12 @@ func (r *Runner) apply(a Action) error {
 	case ActPartition:
 		return r.partition(a)
 
+	case ActHeal:
+		return r.healPartition(a)
+
+	case ActReboot:
+		return r.reboot(a)
+
 	case ActBlock:
 		if err := r.C.Post(a.Node, "/block", map[string]any{"group": a.Group, "blocked": true}); err != nil {
 			r.logf("  block skipped: %v", err)
@@ -242,6 +248,109 @@ func (r *Runner) partition(a Action) error {
 	return nil
 }
 
+// healPartition cuts the scheduled minority of one group away from the
+// rest in both directions, lets both sides form their own views (the
+// majority evicts the cut members, the minority splits into a new
+// lineage), feeds divergent traffic to each side, then heals the links
+// and waits for the sides to merge back into one union view — the
+// partition-healing flagship scenario. Membership ends where it started.
+func (r *Runner) healPartition(a Action) error {
+	minority := make([]string, 0, len(a.Nodes))
+	for _, n := range a.Nodes {
+		if r.C.Proc(n) != nil {
+			minority = append(minority, n)
+		}
+	}
+	majority := r.members[a.Group]
+	for _, n := range minority {
+		majority = remove(majority, n)
+	}
+	if len(minority) == 0 || len(majority) == 0 {
+		r.logf("  heal skipped: sides %v / %v", minority, majority)
+		return nil
+	}
+	// Cut every minority↔majority link, both directions. Links inside
+	// each side stay up so both sides keep making progress.
+	for _, n := range minority {
+		if err := r.C.Post(n, "/fault", map[string]any{"op": "cut", "peers": majority}); err != nil {
+			return err
+		}
+	}
+	for _, n := range majority {
+		if err := r.C.Post(n, "/fault", map[string]any{"op": "cut", "peers": minority}); err != nil {
+			return err
+		}
+	}
+	// Divergent traffic: each side multicasts while the other cannot
+	// hear it, so the eventual merge has real backlog to exchange.
+	r.C.Post(minority[0], "/multicast", map[string]any{"group": a.Group, "count": 3})
+	r.C.Post(majority[0], "/multicast", map[string]any{"group": a.Group, "count": 3})
+	time.Sleep(time.Duration(a.Ms) * time.Millisecond)
+	// Heal everywhere (clears all fault rules on the posted node).
+	for _, n := range append(append([]string(nil), minority...), majority...) {
+		if err := r.C.Post(n, "/fault", map[string]any{"op": "heal"}); err != nil {
+			r.logf("  heal %s failed: %v", n, err)
+		}
+	}
+	// The sides probe each other and merge; converge back on the full
+	// membership in one view. Other groups sharing a cut link repair
+	// themselves the same way.
+	for g := 1; g <= r.Groups; g++ {
+		if len(r.members[g]) == 0 {
+			continue
+		}
+		if err := r.settle(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reboot crash-stops a majority of one group at once: the surviving
+// minority re-forms as a split view in its own lineage, then fresh
+// incarnations join it to restore the group's size.
+func (r *Runner) reboot(a Action) error {
+	affected := make(map[int]bool)
+	for _, n := range a.Nodes {
+		groups := r.groupsOf(n)
+		if err := r.C.Kill(n); err != nil {
+			r.logf("  reboot kill skipped: %v", err)
+			continue
+		}
+		for _, g := range groups {
+			affected[g] = true
+			r.members[g] = remove(r.members[g], n)
+		}
+	}
+	for g := 1; g <= r.Groups; g++ {
+		if affected[g] {
+			if err := r.settle(g); err != nil {
+				return err
+			}
+		}
+	}
+	for _, repl := range a.Repls {
+		if len(r.members[a.Group]) == 0 {
+			break
+		}
+		if _, err := r.C.Start(repl); err != nil {
+			return err
+		}
+		if err := r.C.Introduce(); err != nil {
+			return err
+		}
+		if err := r.C.Post(repl, "/join", map[string]any{
+			"group": a.Group, "contacts": r.members[a.Group]}); err != nil {
+			return err
+		}
+		r.members[a.Group] = insert(r.members[a.Group], repl)
+		if err := r.settle(a.Group); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // settle waits until every expected member of group g reports the same
 // installed view with exactly the expected membership. Divergence is
 // repaired along the way: a member that got itself evicted (fault
@@ -268,7 +377,8 @@ func (r *Runner) converged(g int) (bool, error) {
 	if len(want) == 0 {
 		return true, nil
 	}
-	var view uint64
+	var view, epoch uint64
+	first := true
 	for _, n := range want {
 		st, err := r.C.Stats(n, g)
 		if err != nil {
@@ -292,10 +402,14 @@ func (r *Runner) converged(g int) (bool, error) {
 		if st.Joining {
 			return false, fmt.Errorf("%s still joining", n)
 		}
-		if view == 0 {
-			view = st.View
-		} else if st.View != view {
-			return false, fmt.Errorf("%s at view %d, others at %d", n, st.View, view)
+		// Convergence needs the full reference to agree: after a
+		// partition the sides can sit at the same numeric view id in
+		// different lineages.
+		if first {
+			view, epoch = st.View, st.Epoch
+			first = false
+		} else if st.View != view || st.Epoch != epoch {
+			return false, fmt.Errorf("%s at view e%x/v%d, others at e%x/v%d", n, st.Epoch, st.View, epoch, view)
 		}
 		got := append([]string(nil), st.Members...)
 		sort.Strings(got)

@@ -1,0 +1,271 @@
+package e2e
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obsolete"
+	"repro/test/chaosharness"
+)
+
+// TestPartitionMergeOverTCP is the black-box partition-healing scenario
+// over real processes and real TCP: a five-node group is cut 3|2, the
+// majority evicts the minority on the founding lineage while the
+// minority splits into its own, both sides multicast while divergent,
+// and after the links heal the probe/merge handshake drives everyone
+// into one union view. The test then asserts — from the JSONL logs, not
+// the engines' say-so — that each side delivered the other's surviving
+// backlog before the union-view marker, and replays the combined logs of
+// both sub-views through the §3.2 oracle.
+func TestPartitionMergeOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("merge e2e spawns real processes; skipped in -short")
+	}
+	const seed = 77
+	opt := chaosharness.Options{
+		Bin:    chaosBinary(t),
+		LogDir: logDir(t, seed),
+		Seed:   seed,
+		Heal:   true,
+	}
+	c := chaosharness.NewCluster(opt)
+	defer c.QuitAll()
+
+	nodes := []string{"m0", "m1", "m2", "m3", "m4"}
+	maj, min := nodes[:3], nodes[3:]
+	for _, n := range nodes {
+		if _, err := c.Start(n); err != nil {
+			t.Fatalf("start %s: %v", n, err)
+		}
+	}
+	if err := c.Introduce(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := c.Post(n, "/create", map[string]any{"group": 1, "members": nodes}); err != nil {
+			t.Fatalf("create on %s: %v", n, err)
+		}
+	}
+	waitFor(t, "initial view on every node", func() bool {
+		for _, n := range nodes {
+			st, err := c.Stats(n, 1)
+			if err != nil || len(st.Members) != len(nodes) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Cut every majority↔minority link in both directions.
+	for _, n := range min {
+		if err := c.Post(n, "/fault", map[string]any{"op": "cut", "peers": maj}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range maj {
+		if err := c.Post(n, "/fault", map[string]any{"op": "cut", "peers": min}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The majority completes an eviction on epoch 0; the minority splits
+	// into a fresh lineage with the same numeric view id.
+	waitFor(t, "majority eviction view", func() bool {
+		for _, n := range maj {
+			st, err := c.Stats(n, 1)
+			if err != nil || st.Epoch != 0 || len(st.Members) != len(maj) {
+				return false
+			}
+		}
+		return true
+	})
+	waitFor(t, "minority split view", func() bool {
+		for _, n := range min {
+			st, err := c.Stats(n, 1)
+			if err != nil || st.Epoch == 0 || len(st.Members) != len(min) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Divergent traffic: seqs 1..3 on each side, invisible to the other
+	// until the merge carries them across.
+	if err := c.Post(maj[0], "/multicast", map[string]any{"group": 1, "count": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Post(min[0], "/multicast", map[string]any{"group": 1, "count": 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "divergent traffic sent", func() bool {
+		for _, n := range []string{maj[0], min[0]} {
+			st, err := c.Stats(n, 1)
+			if err != nil || st.Sent < 3 || st.Queued > 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Heal all links; the heartbeat detector restores the far side and
+	// the probe beacons discover the divergent lineage.
+	for _, n := range nodes {
+		if err := c.Post(n, "/fault", map[string]any{"op": "heal"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var unionView, unionEpoch uint64
+	waitFor(t, "union view on every node", func() bool {
+		first := true
+		for _, n := range nodes {
+			st, err := c.Stats(n, 1)
+			if err != nil || len(st.Members) != len(nodes) {
+				return false
+			}
+			if first {
+				unionView, unionEpoch = st.View, st.Epoch
+				first = false
+			} else if st.View != unionView || st.Epoch != unionEpoch {
+				return false
+			}
+		}
+		return true
+	})
+	if unionEpoch == 0 {
+		t.Fatalf("union view e%x/v%d is on the founding lineage — that was a state transfer, not a merge", unionEpoch, unionView)
+	}
+	t.Logf("union view e%x/v%d across all %d nodes", unionEpoch, unionView, len(nodes))
+
+	c.QuitAll() // flush the logs before reading them
+
+	// Each side must deliver the far side's surviving backlog before the
+	// union-view marker. Under the chained k-enumeration annotation the
+	// last message of a burst covers the earlier ones, so seq 3 is the
+	// delivery that must be present; earlier seqs may legitimately have
+	// been purged.
+	for _, n := range maj {
+		assertDeliveredBeforeUnion(t, c, n, min[0], 3, unionView, unionEpoch)
+	}
+	for _, n := range min {
+		assertDeliveredBeforeUnion(t, c, n, maj[0], 3, unionView, unionEpoch)
+	}
+
+	// And the combined logs of both sub-views satisfy §3.2.
+	rel := obsolete.KEnumeration{K: c.Options().K}
+	for _, err := range chaosharness.Check(rel, c.Logs(), c.Killed(), seed) {
+		t.Errorf("oracle: %v", err)
+	}
+}
+
+// mergeLogEvent is the subset of the svs-chaos JSONL record the merge
+// assertions need.
+type mergeLogEvent struct {
+	Ev     string `json:"ev"`
+	View   uint64 `json:"view"`
+	Epoch  uint64 `json:"epoch"`
+	Sender string `json:"sender"`
+	Seq    uint64 `json:"seq"`
+}
+
+// assertDeliveredBeforeUnion scans node's JSONL log for a delivery of
+// (sender, seq) strictly before the install of the union view.
+func assertDeliveredBeforeUnion(t *testing.T, c *chaosharness.Cluster, node, sender string, seq, unionView, unionEpoch uint64) {
+	t.Helper()
+	path, err := nodeLog(c, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var e mergeLogEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		switch e.Ev {
+		case "deliver":
+			if e.Sender == sender && e.Seq == seq {
+				return
+			}
+		case "install":
+			if e.View == unionView && e.Epoch == unionEpoch {
+				t.Errorf("%s: installed union view e%x/v%d without delivering %s:%d first",
+					node, unionEpoch, unionView, sender, seq)
+				return
+			}
+		}
+	}
+	t.Errorf("%s: log ended without the union view install or a delivery of %s:%d", node, sender, seq)
+}
+
+// nodeLog finds the JSONL log path of one node in the cluster's log set.
+func nodeLog(c *chaosharness.Cluster, node string) (string, error) {
+	want := node + ".jsonl"
+	for _, p := range c.Logs() {
+		if len(p) >= len(want) && p[len(p)-len(want):] == want {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("no log for node %s", node)
+}
+
+// TestPartitionMergeRunnerSchedule drives the seeded generator's own
+// heal and reboot actions end to end: a schedule biased to healing
+// actions runs against a live cluster and the oracle replays the logs.
+// This is the soak-style entry point the CI merge-smoke job uses.
+func TestPartitionMergeRunnerSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("merge e2e spawns real processes; skipped in -short")
+	}
+	seed := *chaosSeed
+	opt := chaosharness.Options{
+		Bin:    chaosBinary(t),
+		LogDir: logDir(t, seed),
+		Seed:   seed,
+		Heal:   true,
+	}
+	c := chaosharness.NewCluster(opt)
+	defer c.QuitAll()
+
+	cfg := chaosharness.GenConfig{Nodes: 5, Groups: 1, Heal: true}
+	r := &chaosharness.Runner{C: c, Logf: t.Logf, SettleTimeout: 120 * time.Second}
+	if err := r.Bootstrap(cfg); err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	actions := chaosharness.Gen(seed, 40, cfg)
+	heals, reboots := 0, 0
+	for _, a := range actions {
+		switch a.Kind {
+		case chaosharness.ActHeal:
+			heals++
+		case chaosharness.ActReboot:
+			reboots++
+		}
+	}
+	if heals == 0 && reboots == 0 {
+		t.Fatalf("seed=%d generated no healing actions in 40 — pick a seed that exercises them", seed)
+	}
+	t.Logf("schedule: %d heal, %d reboot actions", heals, reboots)
+	if err := r.Run(actions); err != nil {
+		t.Fatalf("seed=%d: %v", seed, err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("seed=%d: final barrier: %v", seed, err)
+	}
+	c.QuitAll()
+
+	rel := obsolete.KEnumeration{K: c.Options().K}
+	for _, err := range chaosharness.Check(rel, c.Logs(), c.Killed(), seed) {
+		t.Errorf("oracle: %v", err)
+	}
+}
